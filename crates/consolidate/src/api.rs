@@ -1,0 +1,199 @@
+//! Public entry points: pairwise consolidation (`Π₁ ⊗ Π₂`) and the parallel
+//! divide-and-conquer consolidation of `n` programs (paper §6.1).
+
+use crate::rules::{Engine, Options, RuleStats};
+use crate::symbolic::{SymState, SymbolicCtx};
+use std::fmt;
+use std::time::{Duration, Instant};
+use udf_lang::analysis::{notify_ids, rename_locals};
+use udf_lang::ast::Program;
+use udf_lang::cost::{CostModel, FnCost};
+use udf_lang::intern::Interner;
+
+/// Errors reported by the consolidation entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsolidateError {
+    /// The programs do not share a parameter list. Consolidation is defined
+    /// for programs operating on the *same* input `ᾱ` (Definition 1).
+    ParamMismatch,
+    /// Two inputs broadcast the same program id; the combined notification
+    /// environment would not be a disjoint union.
+    DuplicateIds,
+    /// No programs were supplied.
+    Empty,
+}
+
+impl fmt::Display for ConsolidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsolidateError::ParamMismatch => {
+                write!(f, "programs must share an identical parameter list")
+            }
+            ConsolidateError::DuplicateIds => {
+                write!(f, "programs must broadcast disjoint notification ids")
+            }
+            ConsolidateError::Empty => write!(f, "no programs to consolidate"),
+        }
+    }
+}
+
+impl std::error::Error for ConsolidateError {}
+
+/// Result of one consolidation run.
+#[derive(Debug, Clone)]
+pub struct Consolidated {
+    /// The merged program.
+    pub program: Program,
+    /// Rule application counters (summed over all pairs for n-way runs).
+    pub stats: RuleStats,
+    /// Total entailment queries issued.
+    pub entailment_queries: u64,
+    /// Wall-clock time spent consolidating.
+    pub elapsed: Duration,
+}
+
+fn check_compatible(p1: &Program, p2: &Program) -> Result<(), ConsolidateError> {
+    if p1.params != p2.params {
+        return Err(ConsolidateError::ParamMismatch);
+    }
+    let ids1 = notify_ids(&p1.body);
+    let ids2 = notify_ids(&p2.body);
+    if ids1.intersection(&ids2).next().is_some() {
+        return Err(ConsolidateError::DuplicateIds);
+    }
+    Ok(())
+}
+
+/// Consolidates two programs whose local variables are already disjoint
+/// (e.g. after [`rename_locals`], or outputs of previous consolidations of
+/// disjoint inputs).
+///
+/// # Errors
+///
+/// Returns [`ConsolidateError`] when the programs do not share a parameter
+/// list or broadcast overlapping ids.
+pub fn consolidate_pair_prerenamed(
+    p1: &Program,
+    p2: &Program,
+    interner: &Interner,
+    cm: &CostModel,
+    fns: &dyn FnCost,
+    opts: &Options,
+) -> Result<Consolidated, ConsolidateError> {
+    check_compatible(p1, p2)?;
+    let start = Instant::now();
+    let mut cx = SymbolicCtx::new(interner, opts.mode);
+    let st = SymState::initial(&mut cx, &p1.params);
+    let mut engine = Engine::new(&mut cx, cm, fns, opts, p1.params.iter().copied());
+    let body = engine.omega(st, p1.body.clone(), p2.body.clone(), 0);
+    let stats = engine.stats;
+    Ok(Consolidated {
+        program: Program::new(p1.id, p1.params.clone(), body),
+        stats,
+        entailment_queries: cx.entailment_queries(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Consolidates two programs, renaming their local variables apart first.
+///
+/// # Errors
+///
+/// Returns [`ConsolidateError`] when the programs do not share a parameter
+/// list or broadcast overlapping ids.
+pub fn consolidate_pair(
+    p1: &Program,
+    p2: &Program,
+    interner: &mut Interner,
+    cm: &CostModel,
+    fns: &dyn FnCost,
+    opts: &Options,
+) -> Result<Consolidated, ConsolidateError> {
+    check_compatible(p1, p2)?;
+    let r1 = rename_locals(p1, interner, &format!("q{}$", p1.id.0));
+    let r2 = rename_locals(p2, interner, &format!("q{}$", p2.id.0));
+    consolidate_pair_prerenamed(&r1, &r2, interner, cm, fns, opts)
+}
+
+/// Consolidates `n` programs with the parallel divide-and-conquer strategy
+/// of §6.1: locals are renamed apart once, then pairs are merged level by
+/// level of a balanced reduction tree, with the pairs of each level
+/// consolidated on separate threads.
+///
+/// # Errors
+///
+/// Returns [`ConsolidateError::Empty`] for an empty input and propagates
+/// compatibility errors from pairing.
+pub fn consolidate_many(
+    programs: &[Program],
+    interner: &mut Interner,
+    cm: &CostModel,
+    fns: &(dyn FnCost + Sync),
+    opts: &Options,
+    parallel: bool,
+) -> Result<Consolidated, ConsolidateError> {
+    if programs.is_empty() {
+        return Err(ConsolidateError::Empty);
+    }
+    let start = Instant::now();
+    // Rename all locals apart up front (needs &mut Interner); the reduction
+    // itself only reads the interner and can run in parallel.
+    let mut level: Vec<Program> = programs
+        .iter()
+        .enumerate()
+        .map(|(k, p)| rename_locals(p, interner, &format!("u{k}$")))
+        .collect();
+    let mut stats = RuleStats::default();
+    let mut queries = 0u64;
+    let frozen: &Interner = interner;
+    while level.len() > 1 {
+        let mut next: Vec<Program> = Vec::with_capacity(level.len().div_ceil(2));
+        let pairs: Vec<(&Program, &Program)> = level.chunks(2).filter(|c| c.len() == 2).map(|c| (&c[0], &c[1])).collect();
+        let results: Vec<Result<Consolidated, ConsolidateError>> = if parallel && pairs.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .iter()
+                    .map(|&(a, b)| {
+                        scope.spawn(move || {
+                            consolidate_pair_prerenamed(a, b, frozen, cm, fns, opts)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("pair thread panicked")).collect()
+            })
+        } else {
+            pairs
+                .iter()
+                .map(|&(a, b)| consolidate_pair_prerenamed(a, b, frozen, cm, fns, opts))
+                .collect()
+        };
+        for r in results {
+            let c = r?;
+            add_stats(&mut stats, &c.stats);
+            queries += c.entailment_queries;
+            next.push(c.program);
+        }
+        if level.len() % 2 == 1 {
+            next.push(level.pop().expect("odd element"));
+        }
+        level = next;
+    }
+    let program = level.pop().expect("non-empty reduction");
+    Ok(Consolidated {
+        program,
+        stats,
+        entailment_queries: queries,
+        elapsed: start.elapsed(),
+    })
+}
+
+fn add_stats(acc: &mut RuleStats, s: &RuleStats) {
+    acc.if_eliminated += s.if_eliminated;
+    acc.if3 += s.if3;
+    acc.if4 += s.if4;
+    acc.if5 += s.if5;
+    acc.loop2 += s.loop2;
+    acc.loop3 += s.loop3;
+    acc.loop_seq += s.loop_seq;
+    acc.depth_fallbacks += s.depth_fallbacks;
+}

@@ -1,0 +1,676 @@
+//! Symbolic contexts `Ψ` and strongest postconditions.
+//!
+//! The calculus threads a context `Ψ` — the strongest postcondition of the
+//! code consumed so far — through every rule. We realize `Ψ` as an SMT
+//! formula over *versioned* variables (`x@3` is the third SSA generation of
+//! program variable `x`), which makes `sp(Ψ, x := e)` a matter of bumping a
+//! version and conjoining one defining equality: no substitution is ever
+//! performed on `Ψ` itself.
+//!
+//! * [`SymbolicCtx`] owns the SMT context/solver, the program-symbol →
+//!   SMT-symbol mapping, and caches for entailment and model queries.
+//! * [`SymState`] is the per-path state: the context formula plus the current
+//!   variable versions. States are cheap to clone, which is how the engine
+//!   forks at conditionals (`Ψ ∧ e` / `Ψ ∧ ¬e`).
+//! * [`SymState::sp_stmt`] implements the paper's `sp(Ψ, S)` for arbitrary
+//!   statements (used by the Step and Seq rules), including precise
+//!   branch-merge (φ-node equalities under a disjunction) and sound
+//!   havoc + negated-guard treatment of loops.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use udf_lang::analysis::assigned_vars;
+use udf_lang::ast::{BoolExpr, IntExpr, Stmt};
+use udf_lang::intern::{Interner, Symbol};
+use udf_smt::ctx::{FormulaId, TermId};
+use udf_smt::{Context, SatResult, Solver};
+
+/// How entailment questions `Ψ ⊨ φ` are answered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EntailmentMode {
+    /// Full SMT reasoning (the paper's configuration).
+    Smt,
+    /// Syntactic-only: `φ` must literally occur among the conjuncts of `Ψ`
+    /// (used by the "no-SMT" ablation).
+    Syntactic,
+}
+
+/// Shared symbolic machinery for one consolidation run.
+pub struct SymbolicCtx<'i> {
+    /// The underlying SMT context (public for tests and extensions).
+    pub smt: Context,
+    solver: Solver,
+    interner: &'i Interner,
+    mode: EntailmentMode,
+    fn_syms: HashMap<Symbol, udf_smt::FnSym>,
+    valid_cache: HashMap<(FormulaId, FormulaId), bool>,
+    model_cache: HashMap<FormulaId, Option<HashMap<udf_smt::VarId, i128>>>,
+    probe_cache: HashMap<(FormulaId, TermId), Option<(HashMap<udf_smt::VarId, i128>, i128)>>,
+    fvars_cache: HashMap<FormulaId, std::rc::Rc<BTreeSet<udf_smt::VarId>>>,
+    probe_counter: u64,
+    entailment_queries: u64,
+    entailment_cache_hits: u64,
+}
+
+impl<'i> std::fmt::Debug for SymbolicCtx<'i> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolicCtx")
+            .field("mode", &self.mode)
+            .field("entailment_queries", &self.entailment_queries)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'i> SymbolicCtx<'i> {
+    /// Creates a fresh symbolic context resolving names against `interner`.
+    pub fn new(interner: &'i Interner, mode: EntailmentMode) -> SymbolicCtx<'i> {
+        SymbolicCtx {
+            smt: Context::new(),
+            solver: Solver::new(),
+            interner,
+            mode,
+            fn_syms: HashMap::new(),
+            valid_cache: HashMap::new(),
+            model_cache: HashMap::new(),
+            probe_cache: HashMap::new(),
+            fvars_cache: HashMap::new(),
+            probe_counter: 0,
+            entailment_queries: 0,
+            entailment_cache_hits: 0,
+        }
+    }
+
+    /// Overrides the SMT resource limits (used by benchmarks).
+    pub fn set_solver(&mut self, solver: Solver) {
+        self.solver = solver;
+    }
+
+    /// Number of entailment queries asked so far (including cache hits).
+    pub fn entailment_queries(&self) -> u64 {
+        self.entailment_queries
+    }
+
+    fn smt_var(&mut self, var: Symbol, version: u32) -> TermId {
+        let name = format!("{}@{}", self.interner.resolve(var), version);
+        self.smt.int_var(&name)
+    }
+
+    fn smt_fn(&mut self, f: Symbol, arity: usize) -> udf_smt::FnSym {
+        if let Some(&sym) = self.fn_syms.get(&f) {
+            return sym;
+        }
+        let name = self.interner.resolve(f).to_owned();
+        let sym = self.smt.fn_sym(&name, arity);
+        self.fn_syms.insert(f, sym);
+        sym
+    }
+
+    /// Translates an integer expression under the versions of `st`.
+    pub fn term_of_int(&mut self, st: &SymState, e: &IntExpr) -> TermId {
+        match e {
+            IntExpr::Const(c) => self.smt.int(*c),
+            IntExpr::Var(v) => self.smt_var(*v, st.version(*v)),
+            IntExpr::Call(f, args) => {
+                let ts: Vec<TermId> = args.iter().map(|a| self.term_of_int(st, a)).collect();
+                let sym = self.smt_fn(*f, ts.len());
+                self.smt.app(sym, ts)
+            }
+            IntExpr::Bin(op, a, b) => {
+                let ta = self.term_of_int(st, a);
+                let tb = self.term_of_int(st, b);
+                match op {
+                    udf_lang::ast::IntOp::Add => self.smt.add(ta, tb),
+                    udf_lang::ast::IntOp::Sub => self.smt.sub(ta, tb),
+                    udf_lang::ast::IntOp::Mul => self.smt.mul(ta, tb),
+                }
+            }
+        }
+    }
+
+    /// Translates a boolean expression under the versions of `st`.
+    pub fn formula_of_bool(&mut self, st: &SymState, e: &BoolExpr) -> FormulaId {
+        match e {
+            BoolExpr::Const(true) => self.smt.tru(),
+            BoolExpr::Const(false) => self.smt.fls(),
+            BoolExpr::Cmp(op, a, b) => {
+                let ta = self.term_of_int(st, a);
+                let tb = self.term_of_int(st, b);
+                match op {
+                    udf_lang::ast::CmpOp::Lt => self.smt.lt(ta, tb),
+                    udf_lang::ast::CmpOp::Le => self.smt.le(ta, tb),
+                    udf_lang::ast::CmpOp::Eq => self.smt.eq(ta, tb),
+                }
+            }
+            BoolExpr::Not(a) => {
+                let fa = self.formula_of_bool(st, a);
+                self.smt.not(fa)
+            }
+            BoolExpr::Bin(op, a, b) => {
+                let fa = self.formula_of_bool(st, a);
+                let fb = self.formula_of_bool(st, b);
+                match op {
+                    udf_lang::ast::BoolOp::And => self.smt.and(fa, fb),
+                    udf_lang::ast::BoolOp::Or => self.smt.or(fa, fb),
+                }
+            }
+        }
+    }
+
+    /// Whether `Ψ ⊨ φ`. Cached; `Unknown` counts as *not entailed*.
+    ///
+    /// Long programs accumulate hundreds of conjuncts, most of which are
+    /// irrelevant to any one query; the solver query is restricted to the
+    /// *cone of influence* of `φ` (conjuncts transitively sharing variables
+    /// with it). Dropping conjuncts weakens `Ψ`, which can only make the
+    /// answer `false` where the full context would say `true` — a missed
+    /// rewrite, never an unsound one.
+    pub fn entails(&mut self, st: &SymState, phi: FormulaId) -> bool {
+        self.entailment_queries += 1;
+        match self.mode {
+            EntailmentMode::Syntactic => {
+                st.conjuncts.contains(&phi) || self.smt.formula(phi) == &udf_smt::ctx::Formula::True
+            }
+            EntailmentMode::Smt => {
+                let psi = if st.conjuncts.len() >= 24 {
+                    self.cone_of_influence(st, phi)
+                } else {
+                    st.psi
+                };
+                if let Some(&v) = self.valid_cache.get(&(psi, phi)) {
+                    self.entailment_cache_hits += 1;
+                    return v;
+                }
+                let v = self.solver.is_valid(&mut self.smt, psi, phi);
+                self.valid_cache.insert((psi, phi), v);
+                v
+            }
+        }
+    }
+
+    /// Conjunction of the `Ψ` conjuncts transitively sharing variables with
+    /// `phi`.
+    fn cone_of_influence(&mut self, st: &SymState, phi: FormulaId) -> FormulaId {
+        let mut relevant: BTreeSet<udf_smt::VarId> = (*self.formula_vars(phi)).clone();
+        let conj_vars: Vec<std::rc::Rc<BTreeSet<udf_smt::VarId>>> = st
+            .conjuncts
+            .iter()
+            .map(|&c| self.formula_vars(c))
+            .collect();
+        let mut included = vec![false; st.conjuncts.len()];
+        loop {
+            let mut changed = false;
+            for (k, vars) in conj_vars.iter().enumerate() {
+                if included[k] {
+                    continue;
+                }
+                if vars.iter().any(|v| relevant.contains(v)) {
+                    included[k] = true;
+                    relevant.extend(vars.iter().copied());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let picked: Vec<FormulaId> = st
+            .conjuncts
+            .iter()
+            .zip(&included)
+            .filter_map(|(&c, &inc)| inc.then_some(c))
+            .collect();
+        self.smt.and_all(picked)
+    }
+
+    /// Variable set of a formula (memoized).
+    fn formula_vars(&mut self, f: FormulaId) -> std::rc::Rc<BTreeSet<udf_smt::VarId>> {
+        if let Some(v) = self.fvars_cache.get(&f) {
+            return v.clone();
+        }
+        let mut out = BTreeSet::new();
+        collect_formula_vars(&self.smt, f, &mut out);
+        let rc = std::rc::Rc::new(out);
+        self.fvars_cache.insert(f, rc.clone());
+        rc
+    }
+
+    /// A model of `Ψ` (if satisfiable and within budget). Cached per `Ψ`.
+    pub fn model(&mut self, st: &SymState) -> Option<HashMap<udf_smt::VarId, i128>> {
+        if self.mode == EntailmentMode::Syntactic {
+            return None;
+        }
+        if let Some(m) = self.model_cache.get(&st.psi) {
+            return m.clone();
+        }
+        let (r, m) = self.solver.check_with_model(&self.smt, st.psi);
+        let out = if r == SatResult::Sat { m } else { None };
+        self.model_cache.insert(st.psi, out.clone());
+        out
+    }
+
+    /// Model of `Ψ ∧ probe = t`, returning both the model and the probed
+    /// value of `t` in it. This evaluates arbitrary terms — including
+    /// uninterpreted calls — under one coherent model, which drives the
+    /// candidate filter of the cross-simplifier. Cached per `(Ψ, t)`.
+    pub fn model_with_probe(
+        &mut self,
+        st: &SymState,
+        t: TermId,
+    ) -> Option<(HashMap<udf_smt::VarId, i128>, i128)> {
+        if self.mode == EntailmentMode::Syntactic {
+            return None;
+        }
+        if let Some(cached) = self.probe_cache.get(&(st.psi, t)) {
+            return cached.clone();
+        }
+        let probe_name = format!("%probe{}", self.probe_counter);
+        self.probe_counter += 1;
+        let probe_var = self.smt.var(&probe_name);
+        let probe = self.smt.int_var(&probe_name);
+        let eq = self.smt.eq(probe, t);
+        // Restrict to the cone of influence of the probed term: variables
+        // outside it cannot be proved equal to `t` anyway, so their model
+        // values are never useful to the candidate filter.
+        let psi = if st.conjuncts.len() >= 24 {
+            self.cone_of_influence(st, eq)
+        } else {
+            st.psi
+        };
+        let q = self.smt.and(psi, eq);
+        let (r, m) = self.solver.check_with_model(&self.smt, q);
+        let out = match (r, m) {
+            (SatResult::Sat, Some(m)) => {
+                let v = m.get(&probe_var).copied().unwrap_or(0);
+                Some((m, v))
+            }
+            _ => None,
+        };
+        self.probe_cache.insert((st.psi, t), out.clone());
+        out
+    }
+
+    /// Value of a program variable in a model (missing ⇒ unconstrained ⇒ 0).
+    pub fn model_value(
+        &mut self,
+        st: &SymState,
+        model: &HashMap<udf_smt::VarId, i128>,
+        var: Symbol,
+    ) -> i128 {
+        let t = self.smt_var(var, st.version(var));
+        if let udf_smt::ctx::Term::Var(v) = self.smt.term(t) {
+            model.get(v).copied().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+}
+
+/// Per-path symbolic state: the context formula `Ψ` plus variable versions.
+#[derive(Clone, Debug)]
+pub struct SymState {
+    /// The context formula.
+    pub psi: FormulaId,
+    /// Conjuncts of `Ψ` in assertion order (used for pruning and the
+    /// syntactic ablation).
+    pub conjuncts: Vec<FormulaId>,
+    versions: BTreeMap<Symbol, u32>,
+    next_version: BTreeMap<Symbol, u32>,
+    /// Library functions called by each variable's *current* defining
+    /// expression (used to rank rewrite candidates: a variable defined via
+    /// `f(...)` is the likeliest replacement for another `f(...)` call).
+    def_fns: BTreeMap<Symbol, BTreeSet<Symbol>>,
+    /// Cap on retained conjuncts: older facts are dropped (a sound weakening
+    /// of `Ψ`) to keep entailment queries tractable on very long programs.
+    pub max_conjuncts: usize,
+}
+
+impl SymState {
+    /// Initial state: `Ψ = ⊤`, every parameter at version 0.
+    pub fn initial(cx: &mut SymbolicCtx<'_>, params: &[Symbol]) -> SymState {
+        let mut st = SymState {
+            psi: cx.smt.tru(),
+            conjuncts: Vec::new(),
+            versions: BTreeMap::new(),
+            next_version: BTreeMap::new(),
+            def_fns: BTreeMap::new(),
+            max_conjuncts: 256,
+        };
+        for &p in params {
+            st.versions.insert(p, 0);
+            st.next_version.insert(p, 1);
+        }
+        st
+    }
+
+    /// Current version of `v` (0 before any assignment).
+    pub fn version(&self, v: Symbol) -> u32 {
+        self.versions.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Variables currently tracked (parameters and every assigned local).
+    pub fn vars(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.versions.keys().copied()
+    }
+
+    fn bump(&mut self, v: Symbol) {
+        let next = self.next_version.entry(v).or_insert(1);
+        self.versions.insert(v, *next);
+        *next += 1;
+    }
+
+    /// Conjoins a formula onto `Ψ`.
+    pub fn assume_formula(&mut self, cx: &mut SymbolicCtx<'_>, f: FormulaId) {
+        self.conjuncts.push(f);
+        if self.conjuncts.len() > self.max_conjuncts {
+            // Drop the oldest facts (weakening; still sound).
+            let excess = self.conjuncts.len() - self.max_conjuncts;
+            self.conjuncts.drain(..excess);
+            self.psi = cx.smt.and_all(self.conjuncts.iter().copied());
+        } else {
+            self.psi = cx.smt.and(self.psi, f);
+        }
+    }
+
+    /// Conjoins a program boolean expression onto `Ψ`.
+    pub fn assume(&mut self, cx: &mut SymbolicCtx<'_>, e: &BoolExpr) {
+        let f = cx.formula_of_bool(self, e);
+        self.assume_formula(cx, f);
+    }
+
+    /// Conjoins the negation of a program boolean expression onto `Ψ`.
+    pub fn assume_not(&mut self, cx: &mut SymbolicCtx<'_>, e: &BoolExpr) {
+        let f = cx.formula_of_bool(self, e);
+        let nf = cx.smt.not(f);
+        self.assume_formula(cx, nf);
+    }
+
+    /// `sp(Ψ, x := e)`: bumps `x` and conjoins `x@new = ⟦e⟧@old`.
+    pub fn assign(&mut self, cx: &mut SymbolicCtx<'_>, x: Symbol, e: &IntExpr) {
+        let t = cx.term_of_int(self, e);
+        self.bump(x);
+        let xv = cx.smt_var(x, self.version(x));
+        let eq = cx.smt.eq(xv, t);
+        self.assume_formula(cx, eq);
+        let mut fns = BTreeSet::new();
+        udf_lang::analysis::int_expr_fns(e, &mut fns);
+        self.def_fns.insert(x, fns);
+    }
+
+    /// Library functions called by `v`'s current defining expression.
+    pub fn def_fns(&self, v: Symbol) -> Option<&BTreeSet<Symbol>> {
+        self.def_fns.get(&v)
+    }
+
+    /// Invalidates `vars`: each gets a fresh, unconstrained version.
+    pub fn havoc<I: IntoIterator<Item = Symbol>>(&mut self, vars: I) {
+        for v in vars {
+            self.bump(v);
+            self.def_fns.remove(&v);
+        }
+    }
+
+    /// Synchronizes version *counters* with another state so that fresh
+    /// versions never collide after a fork (call on the state that continues).
+    pub fn absorb_counters(&mut self, other: &SymState) {
+        for (&v, &n) in &other.next_version {
+            let e = self.next_version.entry(v).or_insert(n);
+            *e = (*e).max(n);
+        }
+    }
+
+    /// `sp(Ψ, S)` for an arbitrary statement: symbolic execution with precise
+    /// branch merge and havoc + negated-guard loops. Notifications are
+    /// transparent (`sp(Ψ, notifyᵢ b) = Ψ`, as in the paper).
+    pub fn sp_stmt(&mut self, cx: &mut SymbolicCtx<'_>, s: &Stmt) {
+        match s {
+            Stmt::Skip | Stmt::Notify(..) => {}
+            Stmt::Assign(x, e) => self.assign(cx, *x, e),
+            Stmt::Seq(a, b) => {
+                self.sp_stmt(cx, a);
+                self.sp_stmt(cx, b);
+            }
+            Stmt::If(c, a, b) => {
+                let fc = cx.formula_of_bool(self, c);
+                let mut then_st = self.clone();
+                then_st.assume_formula(cx, fc);
+                then_st.sp_stmt(cx, a);
+                let mut else_st = self.clone();
+                else_st.absorb_counters(&then_st);
+                let nfc = cx.smt.not(fc);
+                else_st.assume_formula(cx, nfc);
+                else_st.sp_stmt(cx, b);
+                // Merge: variables assigned on either side get a φ version.
+                self.absorb_counters(&then_st);
+                self.absorb_counters(&else_st);
+                let merged_vars: BTreeSet<Symbol> = assigned_vars(a)
+                    .into_iter()
+                    .chain(assigned_vars(b))
+                    .collect();
+                let mut then_psi = then_st.psi;
+                let mut else_psi = else_st.psi;
+                for &v in &merged_vars {
+                    self.bump(v);
+                    self.def_fns.remove(&v);
+                    let phi_var = cx.smt_var(v, self.version(v));
+                    let tv = cx.smt_var(v, then_st.version(v));
+                    let ev = cx.smt_var(v, else_st.version(v));
+                    let eq_t = cx.smt.eq(phi_var, tv);
+                    let eq_e = cx.smt.eq(phi_var, ev);
+                    then_psi = cx.smt.and(then_psi, eq_t);
+                    else_psi = cx.smt.and(else_psi, eq_e);
+                }
+                let merged = cx.smt.or(then_psi, else_psi);
+                // Replace Ψ wholesale: the disjunction subsumes the previous
+                // conjunct list.
+                self.conjuncts.clear();
+                self.conjuncts.push(merged);
+                self.psi = merged;
+            }
+            Stmt::While(c, body) => {
+                // Havoc everything the loop may write, then record that the
+                // guard is false on exit.
+                let assigned = assigned_vars(body);
+                self.havoc(assigned);
+                let fc = cx.formula_of_bool(self, c);
+                let nfc = cx.smt.not(fc);
+                self.assume_formula(cx, nfc);
+            }
+        }
+    }
+}
+
+fn collect_term_vars(
+    smt: &Context,
+    t: TermId,
+    out: &mut BTreeSet<udf_smt::VarId>,
+) {
+    match smt.term(t) {
+        udf_smt::ctx::Term::Int(_) => {}
+        udf_smt::ctx::Term::Var(v) => {
+            out.insert(*v);
+        }
+        udf_smt::ctx::Term::App(_, args) => {
+            for &a in args.clone().iter() {
+                collect_term_vars(smt, a, out);
+            }
+        }
+        udf_smt::ctx::Term::Add(a, b)
+        | udf_smt::ctx::Term::Sub(a, b)
+        | udf_smt::ctx::Term::Mul(a, b) => {
+            let (a, b) = (*a, *b);
+            collect_term_vars(smt, a, out);
+            collect_term_vars(smt, b, out);
+        }
+    }
+}
+
+fn collect_formula_vars(
+    smt: &Context,
+    f: FormulaId,
+    out: &mut BTreeSet<udf_smt::VarId>,
+) {
+    match smt.formula(f) {
+        udf_smt::ctx::Formula::True | udf_smt::ctx::Formula::False => {}
+        udf_smt::ctx::Formula::Le(a, b)
+        | udf_smt::ctx::Formula::Lt(a, b)
+        | udf_smt::ctx::Formula::Eq(a, b) => {
+            let (a, b) = (*a, *b);
+            collect_term_vars(smt, a, out);
+            collect_term_vars(smt, b, out);
+        }
+        udf_smt::ctx::Formula::Not(g) => {
+            let g = *g;
+            collect_formula_vars(smt, g, out);
+        }
+        udf_smt::ctx::Formula::And(a, b) | udf_smt::ctx::Formula::Or(a, b) => {
+            let (a, b) = (*a, *b);
+            collect_formula_vars(smt, a, out);
+            collect_formula_vars(smt, b, out);
+        }
+    }
+}
+
+/// Convenience: builds a [`SymbolicCtx`] and initial [`SymState`] in one call.
+pub fn initial_state<'i>(
+    interner: &'i Interner,
+    mode: EntailmentMode,
+    params: &[Symbol],
+) -> (SymbolicCtx<'i>, SymState) {
+    let mut cx = SymbolicCtx::new(interner, mode);
+    let st = SymState::initial(&mut cx, params);
+    (cx, st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udf_lang::parse::{parse_bool_expr, parse_int_expr, parse_program};
+
+    fn setup(src_params: &[&str]) -> (Interner, Vec<Symbol>) {
+        let mut i = Interner::new();
+        let params = src_params.iter().map(|p| i.intern(p)).collect();
+        (i, params)
+    }
+
+    #[test]
+    fn assign_then_entails_equality() {
+        let (mut i, params) = setup(&["a"]);
+        let x = i.intern("x");
+        let e = parse_int_expr("a + 1", &mut i).unwrap();
+        let q = parse_bool_expr("x == a + 1", &mut i).unwrap();
+        let (mut cx, mut st) = initial_state(&i, EntailmentMode::Smt, &params);
+        st.assign(&mut cx, x, &e);
+        let f = cx.formula_of_bool(&st, &q);
+        assert!(cx.entails(&st, f));
+    }
+
+    #[test]
+    fn reassignment_shadows_old_value() {
+        let (mut i, params) = setup(&["a"]);
+        let x = i.intern("x");
+        let e1 = parse_int_expr("1", &mut i).unwrap();
+        let e2 = parse_int_expr("2", &mut i).unwrap();
+        let q_old = parse_bool_expr("x == 1", &mut i).unwrap();
+        let q_new = parse_bool_expr("x == 2", &mut i).unwrap();
+        let (mut cx, mut st) = initial_state(&i, EntailmentMode::Smt, &params);
+        st.assign(&mut cx, x, &e1);
+        st.assign(&mut cx, x, &e2);
+        let f_old = cx.formula_of_bool(&st, &q_old);
+        let f_new = cx.formula_of_bool(&st, &q_new);
+        assert!(!cx.entails(&st, f_old));
+        assert!(cx.entails(&st, f_new));
+    }
+
+    #[test]
+    fn x_plus_x_uses_one_version() {
+        let (mut i, params) = setup(&["a"]);
+        let x = i.intern("x");
+        let e = parse_int_expr("a", &mut i).unwrap();
+        let q = parse_bool_expr("x + x == 2 * a", &mut i).unwrap();
+        let (mut cx, mut st) = initial_state(&i, EntailmentMode::Smt, &params);
+        st.assign(&mut cx, x, &e);
+        let f = cx.formula_of_bool(&st, &q);
+        assert!(cx.entails(&st, f));
+    }
+
+    #[test]
+    fn sp_if_merges_branches() {
+        let (mut i, params) = setup(&["a"]);
+        let prog = parse_program(
+            "program p @0 (a) { if (a < 0) { y := 0 - a; } else { y := a; } }",
+            &mut i,
+        )
+        .unwrap();
+        let y_ge_0 = parse_bool_expr("y >= 0", &mut i).unwrap();
+        let y_gt_5 = parse_bool_expr("y > 5", &mut i).unwrap();
+        let (mut cx, mut st) = initial_state(&i, EntailmentMode::Smt, &params);
+        st.sp_stmt(&mut cx, &prog.body);
+        // |y| is nonnegative on both branches.
+        let f = cx.formula_of_bool(&st, &y_ge_0);
+        assert!(cx.entails(&st, f));
+        let g = cx.formula_of_bool(&st, &y_gt_5);
+        assert!(!cx.entails(&st, g));
+    }
+
+    #[test]
+    fn sp_while_havocs_and_negates_guard() {
+        let (mut i, params) = setup(&["a"]);
+        let prog = parse_program(
+            "program p @0 (a) { x := 0; while (x < a) { x := x + 1; } }",
+            &mut i,
+        )
+        .unwrap();
+        let x_ge_a = parse_bool_expr("x >= a", &mut i).unwrap();
+        let x_eq_0 = parse_bool_expr("x == 0", &mut i).unwrap();
+        let (mut cx, mut st) = initial_state(&i, EntailmentMode::Smt, &params);
+        st.sp_stmt(&mut cx, &prog.body);
+        // After the loop, ¬(x < a) holds…
+        let f = cx.formula_of_bool(&st, &x_ge_a);
+        assert!(cx.entails(&st, f));
+        // …and the initial value of x has been havoced away.
+        let g = cx.formula_of_bool(&st, &x_eq_0);
+        assert!(!cx.entails(&st, g));
+    }
+
+    #[test]
+    fn model_guides_constant_discovery() {
+        let (mut i, params) = setup(&["a"]);
+        let x = i.intern("x");
+        let e = parse_int_expr("7", &mut i).unwrap();
+        let (mut cx, mut st) = initial_state(&i, EntailmentMode::Smt, &params);
+        st.assign(&mut cx, x, &e);
+        let m = cx.model(&st).expect("Ψ is satisfiable");
+        assert_eq!(cx.model_value(&st, &m, x), 7);
+    }
+
+    #[test]
+    fn syntactic_mode_only_sees_literal_conjuncts() {
+        let (mut i, params) = setup(&["a"]);
+        let gt = parse_bool_expr("a > 3", &mut i).unwrap();
+        let ge = parse_bool_expr("a >= 3", &mut i).unwrap();
+        let (mut cx, mut st) = initial_state(&i, EntailmentMode::Syntactic, &params);
+        st.assume(&mut cx, &gt);
+        let f_gt = cx.formula_of_bool(&st, &gt);
+        let f_ge = cx.formula_of_bool(&st, &ge);
+        assert!(cx.entails(&st, f_gt));
+        assert!(!cx.entails(&st, f_ge), "a>3 ⊨ a≥3 needs SMT");
+    }
+
+    #[test]
+    fn conjunct_pruning_weakens_but_does_not_crash() {
+        let (mut i, params) = setup(&["a"]);
+        let x = i.intern("x");
+        let exprs: Vec<_> = (0..10)
+            .map(|k| parse_int_expr(&format!("{k}"), &mut i).unwrap())
+            .collect();
+        let q = parse_bool_expr("x == 9", &mut i).unwrap();
+        let (mut cx, mut st) = initial_state(&i, EntailmentMode::Smt, &params);
+        st.max_conjuncts = 4;
+        for e in &exprs {
+            st.assign(&mut cx, x, e);
+        }
+        // The last assignment is still visible.
+        let f = cx.formula_of_bool(&st, &q);
+        assert!(cx.entails(&st, f));
+    }
+}

@@ -1,0 +1,378 @@
+//! Sharded multi-worker execution of query sets: the `where_many` /
+//! `where_consolidated` operators of the paper's §6.1.
+//!
+//! Records are split into contiguous shards, one per worker thread; each
+//! worker owns a [`Vm`] and evaluates either every query's UDF per record
+//! (`Many`) or the single consolidated UDF (`Consolidated`), demultiplexing
+//! notifications into per-query selection counts. The report separates the
+//! UDF-phase wall time from everything else, matching the paper's
+//! "UDF time" vs "total time" columns.
+
+use crate::compile::{Compiled, Vm, VmError, NOTIFY_NONE};
+use crate::env::UdfEnv;
+use std::fmt;
+use std::time::{Duration, Instant};
+use udf_lang::ast::ProgId;
+use udf_lang::cost::{Cost, CostModel};
+use udf_lang::intern::Symbol;
+
+/// Which operator to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// `where_many`: every query's own UDF runs per record, sequentially.
+    Many,
+    /// `where_consolidated`: the merged UDF runs once per record.
+    Consolidated,
+}
+
+/// A compiled set of queries over one dataset.
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    /// Dense query ids (broadcast targets), in output order.
+    pub query_ids: Vec<ProgId>,
+    /// Per-query compiled UDFs.
+    pub many: Vec<Compiled>,
+    /// The consolidated UDF, when available.
+    pub consolidated: Option<Compiled>,
+    /// Time spent consolidating (reported separately, as in Figure 10).
+    pub consolidation_time: Duration,
+}
+
+impl QuerySet {
+    /// Compiles one UDF per query. Query `k` must notify exactly
+    /// `programs[k].id`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::compile::CompileError`].
+    pub fn compile_many(
+        programs: &[udf_lang::ast::Program],
+        cm: &CostModel,
+        fn_cost: &dyn Fn(Symbol) -> Cost,
+    ) -> Result<QuerySet, crate::compile::CompileError> {
+        let query_ids: Vec<ProgId> = programs.iter().map(|p| p.id).collect();
+        let many = programs
+            .iter()
+            .map(|p| Compiled::compile(p, &query_ids, cm, fn_cost))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(QuerySet {
+            query_ids,
+            many,
+            consolidated: None,
+            consolidation_time: Duration::ZERO,
+        })
+    }
+
+    /// Attaches a consolidated program (it must notify exactly the ids in
+    /// `query_ids`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::compile::CompileError`].
+    pub fn with_consolidated(
+        mut self,
+        merged: &udf_lang::ast::Program,
+        cm: &CostModel,
+        fn_cost: &dyn Fn(Symbol) -> Cost,
+        consolidation_time: Duration,
+    ) -> Result<QuerySet, crate::compile::CompileError> {
+        self.consolidated = Some(Compiled::compile(merged, &self.query_ids, cm, fn_cost)?);
+        self.consolidation_time = consolidation_time;
+        Ok(self)
+    }
+}
+
+/// Execution failure with its record index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// Index of the offending record.
+    pub record: usize,
+    /// Underlying VM error.
+    pub error: VmError,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record {}: {}", self.record, self.error)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Outcome of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// Per-query number of records selected (broadcast `true`).
+    pub counts: Vec<u64>,
+    /// Per-query number of records with *no* broadcast (0 for well-formed
+    /// UDFs; surfaced so malformed query sets are visible).
+    pub missing: Vec<u64>,
+    /// Wall-clock time of the UDF evaluation phase.
+    pub udf_time: Duration,
+    /// Total abstract cost (only when cost tracking was requested).
+    pub cost: Option<u64>,
+    /// Records processed.
+    pub records: usize,
+}
+
+/// The execution engine: a worker pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    workers: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl Engine {
+    /// Creates an engine with a fixed worker count (min 1).
+    pub fn new(workers: usize) -> Engine {
+        Engine {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads used per job.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `queries` over `records` in the given mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EngineError`] raised by any worker (duplicate
+    /// notification, library failure, fuel exhaustion), or an error when
+    /// `Consolidated` is requested without a consolidated program.
+    pub fn run<E: UdfEnv>(
+        &self,
+        env: &E,
+        records: &[E::Rec],
+        queries: &QuerySet,
+        mode: ExecMode,
+        track_cost: bool,
+    ) -> Result<JobReport, EngineError> {
+        let n_q = queries.query_ids.len();
+        if mode == ExecMode::Consolidated {
+            assert!(
+                queries.consolidated.is_some(),
+                "ExecMode::Consolidated requires QuerySet::with_consolidated"
+            );
+        }
+        let shard_len = records.len().div_ceil(self.workers.max(1)).max(1);
+        let start = Instant::now();
+        let shard_results: Vec<Result<ShardOut, EngineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = records
+                .chunks(shard_len)
+                .enumerate()
+                .map(|(k, shard)| {
+                    let base = k * shard_len;
+                    scope.spawn(move || run_shard(env, shard, base, queries, mode, track_cost, n_q))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let udf_time = start.elapsed();
+        let mut counts = vec![0u64; n_q];
+        let mut missing = vec![0u64; n_q];
+        let mut cost = 0u64;
+        for r in shard_results {
+            let s = r?;
+            for q in 0..n_q {
+                counts[q] += s.counts[q];
+                missing[q] += s.missing[q];
+            }
+            cost += s.cost;
+        }
+        Ok(JobReport {
+            counts,
+            missing,
+            udf_time,
+            cost: track_cost.then_some(cost),
+            records: records.len(),
+        })
+    }
+}
+
+struct ShardOut {
+    counts: Vec<u64>,
+    missing: Vec<u64>,
+    cost: u64,
+}
+
+fn run_shard<E: UdfEnv>(
+    env: &E,
+    shard: &[E::Rec],
+    base: usize,
+    queries: &QuerySet,
+    mode: ExecMode,
+    track_cost: bool,
+    n_q: usize,
+) -> Result<ShardOut, EngineError> {
+    let mut vm = Vm::new();
+    let mut notify = vec![NOTIFY_NONE; n_q];
+    let mut counts = vec![0u64; n_q];
+    let mut missing = vec![0u64; n_q];
+    let mut cost = 0u64;
+    for (k, rec) in shard.iter().enumerate() {
+        notify.fill(NOTIFY_NONE);
+        match mode {
+            ExecMode::Many => {
+                for c in &queries.many {
+                    cost += vm
+                        .run(c, env, rec, &mut notify, track_cost)
+                        .map_err(|error| EngineError {
+                            record: base + k,
+                            error,
+                        })?;
+                }
+            }
+            ExecMode::Consolidated => {
+                let c = queries
+                    .consolidated
+                    .as_ref()
+                    .expect("checked by Engine::run");
+                cost += vm
+                    .run(c, env, rec, &mut notify, track_cost)
+                    .map_err(|error| EngineError {
+                        record: base + k,
+                        error,
+                    })?;
+            }
+        }
+        for q in 0..n_q {
+            match notify[q] {
+                1 => counts[q] += 1,
+                0 => {}
+                _ => missing[q] += 1,
+            }
+        }
+    }
+    Ok(ShardOut {
+        counts,
+        missing,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ScalarEnv;
+    use udf_lang::ast::Program;
+    use udf_lang::intern::Interner;
+    use udf_lang::parse::parse_program;
+    use udf_lang::FnLibrary;
+
+    fn threshold_queries(interner: &mut Interner, n: u32) -> Vec<Program> {
+        (0..n)
+            .map(|k| {
+                parse_program(
+                    &format!(
+                        "program q{k} @{k} (v) {{ if (v > {}) {{ notify true; }} else {{ notify false; }} }}",
+                        k * 10
+                    ),
+                    interner,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn where_many_counts_are_exact() {
+        let mut i = Interner::new();
+        let programs = threshold_queries(&mut i, 3); // thresholds 0, 10, 20
+        let env = ScalarEnv::new(1, FnLibrary::new());
+        let cm = CostModel::default();
+        let qs = QuerySet::compile_many(&programs, &cm, &|f| {
+            udf_lang::library::Library::cost(&FnLibrary::new(), f)
+        })
+        .unwrap();
+        let records: Vec<Vec<i64>> = (0..100).map(|v| vec![v]).collect();
+        let engine = Engine::new(4);
+        let r = engine.run(&env, &records, &qs, ExecMode::Many, true).unwrap();
+        assert_eq!(r.counts, vec![99, 89, 79]);
+        assert_eq!(r.missing, vec![0, 0, 0]);
+        assert_eq!(r.records, 100);
+        assert!(r.cost.unwrap() > 0);
+    }
+
+    #[test]
+    fn consolidated_mode_matches_many() {
+        let mut i = Interner::new();
+        let programs = threshold_queries(&mut i, 4);
+        let env = ScalarEnv::new(1, FnLibrary::new());
+        let cm = CostModel::default();
+        let lib = FnLibrary::new();
+        let merged = consolidate::consolidate_many(
+            &programs,
+            &mut i,
+            &cm,
+            &lib,
+            &consolidate::Options::default(),
+            false,
+        )
+        .unwrap();
+        let qs = QuerySet::compile_many(&programs, &cm, &|f| {
+            udf_lang::library::Library::cost(&lib, f)
+        })
+        .unwrap()
+        .with_consolidated(&merged.program, &cm, &|f| {
+            udf_lang::library::Library::cost(&lib, f)
+        }, merged.elapsed)
+        .unwrap();
+        let records: Vec<Vec<i64>> = (-20..120).map(|v| vec![v]).collect();
+        let engine = Engine::new(3);
+        let many = engine.run(&env, &records, &qs, ExecMode::Many, true).unwrap();
+        let cons = engine
+            .run(&env, &records, &qs, ExecMode::Consolidated, true)
+            .unwrap();
+        assert_eq!(many.counts, cons.counts);
+        assert_eq!(cons.missing, vec![0; 4]);
+        assert!(
+            cons.cost.unwrap() <= many.cost.unwrap(),
+            "consolidated cost {} must not exceed sequential {}",
+            cons.cost.unwrap(),
+            many.cost.unwrap()
+        );
+    }
+
+    #[test]
+    fn single_worker_and_many_workers_agree() {
+        let mut i = Interner::new();
+        let programs = threshold_queries(&mut i, 2);
+        let env = ScalarEnv::new(1, FnLibrary::new());
+        let cm = CostModel::default();
+        let qs = QuerySet::compile_many(&programs, &cm, &|_| 10).unwrap();
+        let records: Vec<Vec<i64>> = (0..1000).map(|v| vec![v % 37]).collect();
+        let a = Engine::new(1).run(&env, &records, &qs, ExecMode::Many, false).unwrap();
+        let b = Engine::new(8).run(&env, &records, &qs, ExecMode::Many, false).unwrap();
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut i = Interner::new();
+        let programs = threshold_queries(&mut i, 2);
+        let env = ScalarEnv::new(1, FnLibrary::new());
+        let cm = CostModel::default();
+        let qs = QuerySet::compile_many(&programs, &cm, &|_| 10).unwrap();
+        let records: Vec<Vec<i64>> = Vec::new();
+        let r = Engine::new(4)
+            .run(&env, &records, &qs, ExecMode::Many, false)
+            .unwrap();
+        assert_eq!(r.counts, vec![0, 0]);
+        assert_eq!(r.records, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! A single-machine, multi-worker dataflow substrate modeled on the role
+//! Naiad plays in *Consolidation of Queries with UDFs* (PLDI 2014, §6.1).
+//!
+//! The paper extends Naiad with two operators over a shared input
+//! collection:
+//!
+//! * `whereMany`  — evaluates every query's UDF sequentially per record
+//!   (the fair baseline: data is read once, so the comparison isolates UDF
+//!   execution cost);
+//! * `whereConsolidated` — evaluates the single consolidated UDF and
+//!   demultiplexes its notifications back into per-query outputs.
+//!
+//! This crate provides the same pair:
+//!
+//! * [`env`] — the binding between records and the UDF language: a
+//!   [`env::UdfEnv`] exposes each record's scalar fields as UDF arguments and
+//!   its accessor methods as pure external functions;
+//! * [`compile`] — a register-slot bytecode compiler and VM for UDF programs
+//!   (the engine's fast path; the tree-walking interpreter in `udf-lang`
+//!   remains the semantic reference and the VM is differentially tested
+//!   against it);
+//! * [`engine`] — sharded parallel execution across worker threads with the
+//!   `where_many` / `where_consolidated` operators and the timing breakdown
+//!   (UDF time vs total time) the paper's Figures 9 and 10 report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod engine;
+pub mod env;
+
+pub use compile::{CompileError, Compiled, Vm};
+pub use engine::{Engine, ExecMode, JobReport, QuerySet};
+pub use env::{ScalarEnv, UdfEnv};

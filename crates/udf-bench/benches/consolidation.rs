@@ -1,0 +1,103 @@
+//! Consolidation-time benchmarks: the cost of `Π₁ ⊗ Π₂` and of the n-way
+//! divide-and-conquer merge, per workload shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use udf_lang::cost::UniformFnCost;
+use udf_lang::intern::Interner;
+
+fn pair_straight_line(c: &mut Criterion) {
+    c.bench_function("consolidate_pair_example1", |b| {
+        b.iter(|| {
+            let mut interner = Interner::new();
+            let f1 = udf_lang::parse::parse_program(
+                "program f1 @1 (airline, price) {
+                     name := toLower(airline);
+                     if (name == 1) { notify true; }
+                     else { if (name == 2) { notify true; } else { notify false; } }
+                 }",
+                &mut interner,
+            )
+            .unwrap();
+            let f2 = udf_lang::parse::parse_program(
+                "program f2 @2 (airline, price) {
+                     if (price >= 200) { notify false; }
+                     else { if (toLower(airline) == 1) { notify true; } else { notify false; } }
+                 }",
+                &mut interner,
+            )
+            .unwrap();
+            consolidate::consolidate_pair(
+                &f1,
+                &f2,
+                &mut interner,
+                &udf_lang::CostModel::default(),
+                &UniformFnCost(30),
+                &consolidate::Options::default(),
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn pair_loops(c: &mut Criterion) {
+    c.bench_function("consolidate_pair_example6_loops", |b| {
+        b.iter(|| {
+            let mut interner = Interner::new();
+            let p1 = udf_lang::parse::parse_program(
+                "program p1 @1 (alpha) {
+                     i := alpha; x := 0;
+                     while (i > 0) { i := i - 1; t1 := f(i); x := x + t1; }
+                     if (x > 40) { notify true; } else { notify false; }
+                 }",
+                &mut interner,
+            )
+            .unwrap();
+            let p2 = udf_lang::parse::parse_program(
+                "program p2 @2 (alpha) {
+                     j := alpha - 1; y := alpha;
+                     while (j >= 0) { t2 := f(j); y := y + t2; j := j - 1; }
+                     if (y > 40) { notify true; } else { notify false; }
+                 }",
+                &mut interner,
+            )
+            .unwrap();
+            consolidate::consolidate_pair(
+                &p1,
+                &p2,
+                &mut interner,
+                &udf_lang::CostModel::default(),
+                &UniformFnCost(60),
+                &consolidate::Options::default(),
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn many_way(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consolidate_many_weather_q1");
+    group.sample_size(10);
+    for &n in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut interner = Interner::new();
+                let _env = udf_data::weather::WeatherEnv::new(&mut interner);
+                let fams = udf_data::weather::families();
+                let programs = (fams[0].build)(n, 42, &mut interner);
+                consolidate::consolidate_many(
+                    &programs,
+                    &mut interner,
+                    &udf_lang::CostModel::default(),
+                    &UniformFnCost(udf_data::weather::ACCESSOR_COST),
+                    &consolidate::Options::default(),
+                    false,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pair_straight_line, pair_loops, many_way);
+criterion_main!(benches);

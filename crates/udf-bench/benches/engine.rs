@@ -1,0 +1,65 @@
+//! Execution-engine benchmarks: VM throughput in `where_many` versus
+//! `where_consolidated` on a fixed workload — the steady-state gap the
+//! paper's Figure 9 reports per family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naiad_lite::engine::{Engine, ExecMode, QuerySet};
+use naiad_lite::env::UdfEnv;
+use udf_lang::cost::UniformFnCost;
+use udf_lang::intern::Interner;
+
+struct Fixture {
+    env: udf_data::weather::WeatherEnv,
+    records: Vec<udf_data::weather::CityRecord>,
+    qs: QuerySet,
+}
+
+fn fixture() -> Fixture {
+    let mut interner = Interner::new();
+    let env = udf_data::weather::WeatherEnv::new(&mut interner);
+    let records = udf_data::weather::dataset_sized(100, 42);
+    let fams = udf_data::weather::families();
+    let programs = (fams[0].build)(16, 42, &mut interner); // Q1 × 16
+    let cm = udf_lang::CostModel::default();
+    let merged = consolidate::consolidate_many(
+        &programs,
+        &mut interner,
+        &cm,
+        &UniformFnCost(udf_data::weather::ACCESSOR_COST),
+        &consolidate::Options::default(),
+        false,
+    )
+    .unwrap();
+    let qs = QuerySet::compile_many(&programs, &cm, &|f| env.fn_cost(f))
+        .unwrap()
+        .with_consolidated(&merged.program, &cm, &|f| env.fn_cost(f), merged.elapsed)
+        .unwrap();
+    Fixture { env, records, qs }
+}
+
+fn where_many(c: &mut Criterion) {
+    let fx = fixture();
+    let engine = Engine::new(1);
+    c.bench_function("engine_where_many_weather_q1x16", |b| {
+        b.iter(|| {
+            engine
+                .run(&fx.env, &fx.records, &fx.qs, ExecMode::Many, false)
+                .unwrap()
+        });
+    });
+}
+
+fn where_consolidated(c: &mut Criterion) {
+    let fx = fixture();
+    let engine = Engine::new(1);
+    c.bench_function("engine_where_consolidated_weather_q1x16", |b| {
+        b.iter(|| {
+            engine
+                .run(&fx.env, &fx.records, &fx.qs, ExecMode::Consolidated, false)
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, where_many, where_consolidated);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Regenerates **Figure 10**: scalability with the number of UDFs.
+//!
+//! ```text
+//! cargo run -p udf-bench --release --bin figure10 -- [--fast] [--seed S]
+//! ```
+//!
+//! The paper sweeps the number of News-domain mixed queries from 10 to 300
+//! and plots (log-scale): `whereMany` UDF & total time growing linearly,
+//! `whereConsolidated` UDF & total time staying roughly constant, and
+//! consolidation time staying under a second. This binary prints the same
+//! series as a table.
+
+use consolidate::Options;
+use udf_bench::{run_family_passes, Scale};
+use udf_lang::intern::Interner;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::full();
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => scale = Scale::fast(),
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sweep: &[usize] = if scale.records >= 0.99 {
+        &[10, 50, 100, 150, 200, 250, 300]
+    } else {
+        &[5, 10, 20, 40]
+    };
+    // The scalability claim is about the *slope* of per-pass execution time;
+    // two passes suffice and keep the 300-query sweep tractable.
+    scale.passes = scale.passes.min(2);
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let opts = Options::default();
+    let mut interner = Interner::new();
+    let env = udf_data::news::NewsEnv::new(&mut interner);
+    let n_articles = ((udf_data::news::DEFAULT_ARTICLES as f64) * scale.records) as usize;
+    let records = udf_data::news::dataset_sized(n_articles.max(100), seed);
+
+    println!("Figure 10 — scalability with the number of UDFs (news domain, BC mix)");
+    println!("records: {}, workers: {workers}, seed {seed}", records.len());
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "nUDFs", "many-udf(s)", "many-total(s)", "cons-udf(s)", "cons-total(s)", "consolid.(s)"
+    );
+    for &n in sweep {
+        // The paper's scalability benchmark uses mixes of News query
+        // families; BC is the mixed family.
+        let fam = udf_data::news::families()
+            .into_iter()
+            .find(|f| f.label == "BC")
+            .expect("news has a BC family");
+        let programs = (fam.build)(n, seed, &mut interner);
+        let r = run_family_passes(
+            "news",
+            "BC",
+            &env,
+            &records,
+            programs,
+            &mut interner,
+            workers,
+            &opts,
+            scale.passes,
+        );
+        println!(
+            "{:>6} {:>14.4} {:>14.4} {:>14.4} {:>14.4} {:>14.4}{}",
+            n,
+            r.many_udf.as_secs_f64(),
+            r.many_total.as_secs_f64(),
+            r.cons_udf.as_secs_f64(),
+            r.cons_total.as_secs_f64(),
+            r.consolidation.as_secs_f64(),
+            if r.outputs_agree { "" } else { "  OUTPUT MISMATCH" },
+        );
+    }
+    println!("---");
+    println!("expected shape (paper): many-* grows linearly with nUDFs; cons-udf stays");
+    println!("roughly flat; consolidation time grows but remains far below execution.");
+}

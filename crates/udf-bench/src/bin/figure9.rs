@@ -1,0 +1,102 @@
+//! Regenerates **Figure 9**: UDF-time and total-time speedups of
+//! `where_consolidated` over `where_many` for every query family of every
+//! domain, 50 queries per family.
+//!
+//! ```text
+//! cargo run -p udf-bench --release --bin figure9 -- [domain|all] [--fast] [--queries N] [--seed S]
+//! ```
+//!
+//! The paper reports UDF speedups of 2.6×–24.2× (avg 8.4×) and total
+//! speedups of 1.4×–23.1× (avg 6.0×), with consolidation averaging 0.3 s for
+//! 50 UDFs. We reproduce the shape: consolidation wins in every family, the
+//! largest wins come from families with heavy shared computation, and
+//! consolidation time stays far below execution time.
+
+use consolidate::Options;
+use udf_bench::{format_row, header, run_domain, Scale};
+use udf_data::DomainKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut domains: Vec<DomainKind> = Vec::new();
+    let mut scale = Scale::full();
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => scale = Scale::fast(),
+            "--queries" => {
+                scale.queries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queries N");
+            }
+            "--passes" => {
+                scale.passes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--passes P");
+            }
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
+            }
+            "all" => domains.extend(DomainKind::ALL),
+            name => match DomainKind::parse(name) {
+                Some(d) => domains.push(d),
+                None => {
+                    eprintln!("unknown domain `{name}`; use one of weather/flight/news/twitter/stock/all");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if domains.is_empty() {
+        domains.extend(DomainKind::ALL);
+    }
+
+    let opts = Options::default();
+    println!("Figure 9 — speedup of where_consolidated over where_many");
+    println!("(queries per family: {}, passes: {}, seed {seed})", scale.queries, scale.passes);
+    println!("{}", header());
+    let mut runs = Vec::new();
+    for d in domains {
+        for r in run_domain(d, scale, seed, &opts) {
+            println!("{}", format_row(&r));
+            runs.push(r);
+        }
+    }
+    if runs.len() > 1 {
+        let udf: Vec<f64> = runs.iter().map(|r| r.udf_speedup()).collect();
+        let tot: Vec<f64> = runs.iter().map(|r| r.total_speedup()).collect();
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = |v: &[f64]| v.iter().copied().fold(0.0, f64::max);
+        let cons_avg = runs
+            .iter()
+            .map(|r| r.consolidation.as_secs_f64())
+            .sum::<f64>()
+            / runs.len() as f64;
+        println!("---");
+        println!(
+            "UDF speedup   : min {:.2}x  max {:.2}x  avg {:.2}x   (paper: 2.6x / 24.2x / 8.4x)",
+            min(&udf),
+            max(&udf),
+            avg(&udf)
+        );
+        println!(
+            "total speedup : min {:.2}x  max {:.2}x  avg {:.2}x   (paper: 1.4x / 23.1x / 6.0x)",
+            min(&tot),
+            max(&tot),
+            avg(&tot)
+        );
+        println!(
+            "consolidation : avg {:.3}s per family of {} UDFs   (paper: ~0.3s for 50 UDFs)",
+            cons_avg, scale.queries
+        );
+        let disagreements = runs.iter().filter(|r| !r.outputs_agree).count();
+        println!("output checks : {} families, {disagreements} mismatches", runs.len());
+        if disagreements > 0 {
+            std::process::exit(1);
+        }
+    }
+}

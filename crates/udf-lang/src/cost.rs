@@ -1,0 +1,150 @@
+//! The abstract cost model `cost(·)` of the operational semantics
+//! (paper Figure 2).
+//!
+//! Every syntactic operation carries an abstract cost; evaluating an
+//! expression or statement accumulates the costs of the operations it
+//! performs. External function calls are priced by the library that provides
+//! them (the paper's `eval(f(c̄)) = (c, m)` returns both value and cost `m`).
+//!
+//! The same table is consulted both by the dynamic interpreter and by the
+//! *static* expression-cost estimator used by the cross-simplification
+//! judgement `Ψ ⊢ᵢ e : e'`, which only rewrites when
+//! `static_cost(e') ≤ static_cost(e)`. Static cost is exact for this language
+//! because every subexpression of an expression is evaluated unconditionally.
+
+use crate::ast::{BoolExpr, IntExpr};
+use crate::intern::Symbol;
+
+/// Abstract execution cost.
+pub type Cost = u64;
+
+/// Lookup of the declared static cost of an external function.
+pub trait FnCost {
+    /// Cost charged for one call to `f` (excluding argument evaluation).
+    fn fn_cost(&self, f: Symbol) -> Cost;
+}
+
+/// A [`FnCost`] assigning the same cost to every function; handy in tests.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformFnCost(pub Cost);
+
+impl FnCost for UniformFnCost {
+    fn fn_cost(&self, _f: Symbol) -> Cost {
+        self.0
+    }
+}
+
+/// Cost table for the primitive operations of Figure 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// `cost(int)` — integer literal.
+    pub int_const: Cost,
+    /// `cost(var)` — variable lookup.
+    pub var: Cost,
+    /// `cost(bool)` — boolean literal.
+    pub bool_const: Cost,
+    /// `cost(¬)` — negation.
+    pub not: Cost,
+    /// `cost(⋈)` — boolean connective.
+    pub connective: Cost,
+    /// `cost(▷)` — integer comparison.
+    pub cmp: Cost,
+    /// `cost(⊙)` — integer arithmetic.
+    pub arith: Cost,
+    /// `cost(assign)` — assignment.
+    pub assign: Cost,
+    /// `cost(branch)` — conditional / loop test dispatch.
+    pub branch: Cost,
+    /// `cost(notify)` — notification broadcast.
+    pub notify: Cost,
+}
+
+impl Default for CostModel {
+    /// Unit costs for every primitive. External calls are priced by the
+    /// library and are typically much more expensive.
+    fn default() -> CostModel {
+        CostModel {
+            int_const: 1,
+            var: 1,
+            bool_const: 1,
+            not: 1,
+            connective: 1,
+            cmp: 1,
+            arith: 1,
+            assign: 1,
+            branch: 1,
+            notify: 1,
+        }
+    }
+}
+
+impl CostModel {
+    /// Static cost of evaluating an integer expression. Exact: the language
+    /// evaluates every subexpression unconditionally.
+    pub fn int_expr_cost(&self, e: &IntExpr, fns: &dyn FnCost) -> Cost {
+        match e {
+            IntExpr::Const(_) => self.int_const,
+            IntExpr::Var(_) => self.var,
+            IntExpr::Call(f, args) => {
+                let args_cost: Cost = args.iter().map(|a| self.int_expr_cost(a, fns)).sum();
+                args_cost + fns.fn_cost(*f)
+            }
+            IntExpr::Bin(_, a, b) => {
+                self.arith + self.int_expr_cost(a, fns) + self.int_expr_cost(b, fns)
+            }
+        }
+    }
+
+    /// Static cost of evaluating a boolean expression.
+    pub fn bool_expr_cost(&self, e: &BoolExpr, fns: &dyn FnCost) -> Cost {
+        match e {
+            BoolExpr::Const(_) => self.bool_const,
+            BoolExpr::Cmp(_, a, b) => {
+                self.cmp + self.int_expr_cost(a, fns) + self.int_expr_cost(b, fns)
+            }
+            BoolExpr::Not(a) => self.not + self.bool_expr_cost(a, fns),
+            BoolExpr::Bin(_, a, b) => {
+                self.connective + self.bool_expr_cost(a, fns) + self.bool_expr_cost(b, fns)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+    use crate::intern::Interner;
+
+    #[test]
+    fn int_costs_add_up() {
+        let mut i = Interner::new();
+        let f = i.intern("f");
+        let x = i.intern("x");
+        let cm = CostModel::default();
+        let fns = UniformFnCost(10);
+        // f(x + 1): call(10) + arith(1) + var(1) + const(1) = 13
+        let e = IntExpr::Call(f, vec![IntExpr::add(IntExpr::Var(x), IntExpr::Const(1))]);
+        assert_eq!(cm.int_expr_cost(&e, &fns), 13);
+    }
+
+    #[test]
+    fn bool_costs_add_up() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let cm = CostModel::default();
+        let fns = UniformFnCost(10);
+        // !(x < 0 && x < 1): not(1) + connective(1) + 2*(cmp(1)+var(1)+const(1)) = 8
+        let c0 = BoolExpr::Cmp(CmpOp::Lt, IntExpr::Var(x), IntExpr::Const(0));
+        let c1 = BoolExpr::Cmp(CmpOp::Lt, IntExpr::Var(x), IntExpr::Const(1));
+        let e = BoolExpr::not(BoolExpr::and(c0, c1));
+        assert_eq!(cm.bool_expr_cost(&e, &fns), 8);
+    }
+
+    #[test]
+    fn default_is_all_units() {
+        let cm = CostModel::default();
+        assert_eq!(cm.var, 1);
+        assert_eq!(cm.branch, 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! External function libraries.
+//!
+//! The language has no function definitions: every `f(e₁,…,eₖ)` call targets
+//! an externally provided *pure, deterministic* function (paper §3). The
+//! operational semantics consults `eval(f(c̄)) = (c, m)` for both the return
+//! value and the call cost `m`; a [`Library`] packages both.
+//!
+//! Purity matters: the consolidation calculus models calls as uninterpreted
+//! functions, so two calls with provably equal arguments may be collapsed
+//! into one. A library implementation must therefore be deterministic and
+//! side-effect free.
+
+use crate::cost::{Cost, FnCost};
+use crate::intern::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Default cost charged for calls to functions without a declared cost.
+pub const DEFAULT_CALL_COST: Cost = 10;
+
+/// Errors raised by library calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LibError {
+    /// The function name is not provided by this library.
+    UnknownFunction(String),
+    /// The function was called with the wrong number of arguments.
+    ArityMismatch {
+        /// Function name.
+        name: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibError::UnknownFunction(name) => write!(f, "unknown external function `{name}`"),
+            LibError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "external function `{name}` expects {expected} argument(s), got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LibError {}
+
+/// Interface the interpreter uses to evaluate external calls.
+pub trait Library {
+    /// Evaluates `f(args)`. Must be pure and deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibError`] when `f` is unknown or called at the wrong arity.
+    fn call(&self, f: Symbol, args: &[i64]) -> Result<i64, LibError>;
+
+    /// Static cost of one call to `f` (excluding argument evaluation).
+    fn cost(&self, f: Symbol) -> Cost;
+}
+
+impl<L: Library + ?Sized> FnCost for L {
+    fn fn_cost(&self, f: Symbol) -> Cost {
+        self.cost(f)
+    }
+}
+
+type FnImpl = Arc<dyn Fn(&[i64]) -> i64 + Send + Sync>;
+
+struct Entry {
+    name: String,
+    arity: usize,
+    cost: Cost,
+    imp: FnImpl,
+}
+
+/// A table-backed [`Library`].
+///
+/// # Example
+///
+/// ```
+/// use udf_lang::library::{FnLibrary, Library};
+/// use udf_lang::intern::Interner;
+///
+/// let mut interner = Interner::new();
+/// let sq = interner.intern("square");
+/// let mut lib = FnLibrary::new();
+/// lib.register(sq, "square", 1, 20, |args| args[0] * args[0]);
+/// assert_eq!(lib.call(sq, &[7]), Ok(49));
+/// assert_eq!(lib.cost(sq), 20);
+/// ```
+#[derive(Default, Clone)]
+pub struct FnLibrary {
+    entries: HashMap<Symbol, Arc<Entry>>,
+}
+
+impl fmt::Debug for FnLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.entries.values().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("FnLibrary").field("functions", &names).finish()
+    }
+}
+
+impl FnLibrary {
+    /// Creates an empty library.
+    pub fn new() -> FnLibrary {
+        FnLibrary::default()
+    }
+
+    /// Registers (or replaces) function `sym` with the given display `name`,
+    /// `arity`, per-call `cost`, and implementation.
+    pub fn register<F>(&mut self, sym: Symbol, name: &str, arity: usize, cost: Cost, imp: F)
+    where
+        F: Fn(&[i64]) -> i64 + Send + Sync + 'static,
+    {
+        self.entries.insert(
+            sym,
+            Arc::new(Entry {
+                name: name.to_owned(),
+                arity,
+                cost,
+                imp: Arc::new(imp),
+            }),
+        );
+    }
+
+    /// Declared arity of `f`, if registered.
+    pub fn arity(&self, f: Symbol) -> Option<usize> {
+        self.entries.get(&f).map(|e| e.arity)
+    }
+
+    /// Whether `f` is registered.
+    pub fn contains(&self, f: Symbol) -> bool {
+        self.entries.contains_key(&f)
+    }
+}
+
+impl Library for FnLibrary {
+    fn call(&self, f: Symbol, args: &[i64]) -> Result<i64, LibError> {
+        let entry = self
+            .entries
+            .get(&f)
+            .ok_or_else(|| LibError::UnknownFunction(format!("#{}", f.index())))?;
+        if args.len() != entry.arity {
+            return Err(LibError::ArityMismatch {
+                name: entry.name.clone(),
+                expected: entry.arity,
+                got: args.len(),
+            });
+        }
+        Ok((entry.imp)(args))
+    }
+
+    fn cost(&self, f: Symbol) -> Cost {
+        self.entries.get(&f).map_or(DEFAULT_CALL_COST, |e| e.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::Interner;
+
+    #[test]
+    fn register_and_call() {
+        let mut i = Interner::new();
+        let add3 = i.intern("add3");
+        let mut lib = FnLibrary::new();
+        lib.register(add3, "add3", 3, 7, |a| a[0] + a[1] + a[2]);
+        assert_eq!(lib.call(add3, &[1, 2, 3]), Ok(6));
+        assert_eq!(lib.cost(add3), 7);
+        assert_eq!(lib.arity(add3), Some(3));
+        assert!(lib.contains(add3));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let mut i = Interner::new();
+        let f = i.intern("f");
+        let mut lib = FnLibrary::new();
+        lib.register(f, "f", 1, 1, |a| a[0]);
+        let err = lib.call(f, &[1, 2]).unwrap_err();
+        assert!(matches!(err, LibError::ArityMismatch { expected: 1, got: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let mut i = Interner::new();
+        let g = i.intern("g");
+        let lib = FnLibrary::new();
+        assert!(matches!(lib.call(g, &[]), Err(LibError::UnknownFunction(_))));
+        // Unknown functions still have a (default) cost so static estimation
+        // never fails.
+        assert_eq!(lib.cost(g), DEFAULT_CALL_COST);
+    }
+}

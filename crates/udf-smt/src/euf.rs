@@ -1,0 +1,335 @@
+//! Congruence closure for equality with uninterpreted functions (EUF).
+//!
+//! The solver registers every term occurring in the current literal set,
+//! asserts the equalities, and closes under congruence
+//! (`x̄ = ȳ ⇒ f(x̄) = f(ȳ)`) using the classic union-find + signature-table
+//! algorithm. Disequalities are checked against the closure; asserting an
+//! equality that contradicts a disequality (or vice versa) reports a
+//! conflict.
+
+use crate::ctx::{Context, Term, TermId};
+use std::collections::HashMap;
+
+/// Pseudo function symbols for interpreted operators (disjoint from real
+/// [`crate::ctx::FnSym`] indices, which are dense from 0).
+const BUILTIN_ADD: u32 = u32::MAX;
+const BUILTIN_SUB: u32 = u32::MAX - 1;
+const BUILTIN_MUL: u32 = u32::MAX - 2;
+
+/// A congruence-closure instance over terms of one [`Context`].
+#[derive(Debug, Default)]
+pub struct Euf {
+    /// Dense node index per registered term.
+    node_of: HashMap<TermId, u32>,
+    terms: Vec<TermId>,
+    parent: Vec<u32>,
+    rank: Vec<u32>,
+    /// App nodes in which each node occurs as an argument.
+    use_list: Vec<Vec<u32>>,
+    /// For App nodes: (fn index, arg node indices); `None` for leaves.
+    app: Vec<Option<(u32, Vec<u32>)>>,
+    /// Signature table: (fn, arg representatives) → node.
+    sig: HashMap<(u32, Vec<u32>), u32>,
+    /// Asserted disequalities (node pairs).
+    diseqs: Vec<(u32, u32)>,
+    dirty: bool,
+}
+
+impl Euf {
+    /// Creates an empty instance.
+    pub fn new() -> Euf {
+        Euf::default()
+    }
+
+    /// Registers `t` and all its subterms, returning the node index.
+    pub fn add_term(&mut self, ctx: &Context, t: TermId) -> u32 {
+        if let Some(&n) = self.node_of.get(&t) {
+            return n;
+        }
+        let app_info = match ctx.term(t).clone() {
+            Term::App(f, args) => {
+                let arg_nodes: Vec<u32> = args.iter().map(|&a| self.add_term(ctx, a)).collect();
+                Some((f.0, arg_nodes))
+            }
+            // Arithmetic nodes participate in congruence as if they were
+            // applications of builtin symbols (`+`, `−`, `×` are functions,
+            // so `x = x' ∧ y = y' ⇒ x+y = x'+y'` is sound). This lets the
+            // closure derive most equalities without round-tripping through
+            // the arithmetic solver. LIA still owns their *theory* meaning.
+            Term::Add(a, b) => {
+                let na = self.add_term(ctx, a);
+                let nb = self.add_term(ctx, b);
+                Some((BUILTIN_ADD, vec![na, nb]))
+            }
+            Term::Sub(a, b) => {
+                let na = self.add_term(ctx, a);
+                let nb = self.add_term(ctx, b);
+                Some((BUILTIN_SUB, vec![na, nb]))
+            }
+            Term::Mul(a, b) => {
+                let na = self.add_term(ctx, a);
+                let nb = self.add_term(ctx, b);
+                Some((BUILTIN_MUL, vec![na, nb]))
+            }
+            Term::Int(_) | Term::Var(_) => None,
+        };
+        let n = u32::try_from(self.terms.len()).expect("too many EUF nodes");
+        self.terms.push(t);
+        self.parent.push(n);
+        self.rank.push(0);
+        self.use_list.push(Vec::new());
+        self.app.push(app_info.clone());
+        self.node_of.insert(t, n);
+        if let Some((f, args)) = app_info {
+            for &a in &args {
+                self.use_list[a as usize].push(n);
+            }
+            let sig_key = (f, args.iter().map(|&a| self.find(a)).collect::<Vec<_>>());
+            if let Some(&existing) = self.sig.get(&sig_key) {
+                // Congruent to an existing application: merge immediately.
+                self.union(existing, n);
+            } else {
+                self.sig.insert(sig_key, n);
+            }
+        }
+        // Distinct integer constants are disequal by theory.
+        n
+    }
+
+    fn find(&self, mut n: u32) -> u32 {
+        while self.parent[n as usize] != n {
+            n = self.parent[n as usize];
+        }
+        n
+    }
+
+    fn find_compress(&mut self, n: u32) -> u32 {
+        let root = self.find(n);
+        let mut cur = n;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let mut pending = vec![(a, b)];
+        while let Some((x, y)) = pending.pop() {
+            let (rx, ry) = (self.find_compress(x), self.find_compress(y));
+            if rx == ry {
+                continue;
+            }
+            let (winner, loser) = if self.rank[rx as usize] >= self.rank[ry as usize] {
+                (rx, ry)
+            } else {
+                (ry, rx)
+            };
+            if self.rank[winner as usize] == self.rank[loser as usize] {
+                self.rank[winner as usize] += 1;
+            }
+            self.parent[loser as usize] = winner;
+            self.dirty = true;
+            // Re-hash every application that used the loser's class.
+            let users = std::mem::take(&mut self.use_list[loser as usize]);
+            for &u in &users {
+                let (f, args) = self.app[u as usize].clone().expect("user is an App node");
+                let key = (
+                    f,
+                    args.iter().map(|&n| self.find(n)).collect::<Vec<u32>>(),
+                );
+                if let Some(&other) = self.sig.get(&key) {
+                    if self.find(other) != self.find(u) {
+                        pending.push((other, u));
+                    }
+                } else {
+                    self.sig.insert(key, u);
+                }
+            }
+            self.use_list[winner as usize].extend(users);
+        }
+    }
+
+    /// Asserts `a = b`. Returns `false` when this contradicts an asserted
+    /// disequality or the distinctness of integer constants.
+    pub fn merge(&mut self, ctx: &Context, a: TermId, b: TermId) -> bool {
+        let (na, nb) = (self.add_term(ctx, a), self.add_term(ctx, b));
+        self.union(na, nb);
+        self.consistent(ctx)
+    }
+
+    /// Asserts `a ≠ b`. Returns `false` when `a` and `b` are already equal.
+    pub fn add_diseq(&mut self, ctx: &Context, a: TermId, b: TermId) -> bool {
+        let (na, nb) = (self.add_term(ctx, a), self.add_term(ctx, b));
+        self.diseqs.push((na, nb));
+        self.consistent(ctx)
+    }
+
+    /// Whether `a = b` follows from the asserted equalities by congruence.
+    /// Both terms must have been registered.
+    pub fn equal(&self, a: TermId, b: TermId) -> bool {
+        match (self.node_of.get(&a), self.node_of.get(&b)) {
+            (Some(&na), Some(&nb)) => self.find(na) == self.find(nb),
+            _ => false,
+        }
+    }
+
+    /// Checks all disequalities and built-in constant distinctness.
+    pub fn consistent(&mut self, ctx: &Context) -> bool {
+        for &(a, b) in &self.diseqs {
+            if self.find(a) == self.find(b) {
+                return false;
+            }
+        }
+        // Two distinct integer constants in one class is a conflict.
+        let mut const_of_class: HashMap<u32, i64> = HashMap::new();
+        for n in 0..self.terms.len() {
+            if let Term::Int(c) = ctx.term(self.terms[n]) {
+                let root = self.find(u32::try_from(n).expect("node index fits"));
+                if let Some(&prev) = const_of_class.get(&root) {
+                    if prev != *c {
+                        return false;
+                    }
+                } else {
+                    const_of_class.insert(root, *c);
+                }
+            }
+        }
+        true
+    }
+
+    /// All registered terms (for equality propagation in the combination
+    /// loop).
+    pub fn registered_terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// Opaque class identifier of a registered term: two registered terms are
+    /// equal under the closure iff their class ids coincide.
+    pub fn class_id(&self, t: TermId) -> Option<u32> {
+        self.node_of.get(&t).map(|&n| self.find(n))
+    }
+
+    /// Clears and returns whether any merge happened since the last call
+    /// (used by the Nelson–Oppen fixpoint loop).
+    pub fn take_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.dirty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congruence_propagates_through_apps() {
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let fx = ctx.app(f, vec![x]);
+        let fy = ctx.app(f, vec![y]);
+        let mut e = Euf::new();
+        e.add_term(&ctx, fx);
+        e.add_term(&ctx, fy);
+        assert!(!e.equal(fx, fy));
+        assert!(e.merge(&ctx, x, y));
+        assert!(e.equal(fx, fy));
+    }
+
+    #[test]
+    fn nested_congruence() {
+        // x = y ⇒ g(f(x), x) = g(f(y), y)
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let g = ctx.fn_sym("g", 2);
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let fx = ctx.app(f, vec![x]);
+        let fy = ctx.app(f, vec![y]);
+        let gx = ctx.app(g, vec![fx, x]);
+        let gy = ctx.app(g, vec![fy, y]);
+        let mut e = Euf::new();
+        e.add_term(&ctx, gx);
+        e.add_term(&ctx, gy);
+        assert!(e.merge(&ctx, x, y));
+        assert!(e.equal(gx, gy));
+    }
+
+    #[test]
+    fn diseq_conflict_detected() {
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let z = ctx.int_var("z");
+        let mut e = Euf::new();
+        assert!(e.add_diseq(&ctx, x, z));
+        assert!(e.merge(&ctx, x, y));
+        // y = z would close the cycle x = y = z against x ≠ z.
+        assert!(!e.merge(&ctx, y, z));
+    }
+
+    #[test]
+    fn distinct_constants_conflict() {
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let one = ctx.int(1);
+        let two = ctx.int(2);
+        let mut e = Euf::new();
+        assert!(e.merge(&ctx, x, one));
+        assert!(!e.merge(&ctx, x, two));
+    }
+
+    #[test]
+    fn transitivity_of_function_chain() {
+        // f(a)=b, f(b)=c, a=b ⇒ b=c.
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let a = ctx.int_var("a");
+        let b = ctx.int_var("b");
+        let c = ctx.int_var("c");
+        let fa = ctx.app(f, vec![a]);
+        let fb = ctx.app(f, vec![b]);
+        let mut e = Euf::new();
+        assert!(e.merge(&ctx, fa, b));
+        assert!(e.merge(&ctx, fb, c));
+        assert!(e.merge(&ctx, a, b));
+        assert!(e.equal(b, c));
+    }
+
+    #[test]
+    fn apps_inside_arithmetic_are_registered() {
+        // EUF must see f(x) inside f(x)+1.
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let fx = ctx.app(f, vec![x]);
+        let one = ctx.int(1);
+        let sum = ctx.add(fx, one);
+        let fy = ctx.app(f, vec![y]);
+        let mut e = Euf::new();
+        e.add_term(&ctx, sum);
+        e.add_term(&ctx, fy);
+        assert!(e.merge(&ctx, x, y));
+        assert!(e.equal(fx, fy));
+    }
+
+    #[test]
+    fn identical_apps_are_merged_on_registration() {
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let mut e = Euf::new();
+        // Register f(x) and f(y) with x=y already asserted: registering the
+        // second app must land in the same class.
+        let fx = ctx.app(f, vec![x]);
+        e.add_term(&ctx, fx);
+        assert!(e.merge(&ctx, x, y));
+        let fy = ctx.app(f, vec![y]);
+        e.add_term(&ctx, fy);
+        assert!(e.equal(fx, fy));
+    }
+}

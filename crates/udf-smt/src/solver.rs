@@ -1,0 +1,354 @@
+//! The lazy-SMT top loop: CDCL enumeration of boolean models with theory
+//! final-checks and blocking-clause learning.
+//!
+//! [`Solver::check`] decides satisfiability of a formula modulo LIA ∪ EUF;
+//! [`Solver::is_valid`] answers entailment questions by refutation — the form
+//! used throughout the consolidation engine (`Ψ ⊨ e` becomes
+//! `check(Ψ ∧ ¬e) = Unsat`).
+
+use crate::cnf;
+use crate::ctx::{Context, Formula, FormulaId};
+use crate::sat::{Lit, SatOutcome, SatSolver, Var};
+use crate::theory::{self, TheoryLimits, TheoryLit, TheoryResult};
+
+/// Outcome of an SMT check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// Satisfiable (modulo the documented combination incompleteness).
+    Sat,
+    /// Unsatisfiable — this verdict is always sound.
+    Unsat,
+    /// Budget exhausted or incomplete fragment; treat as "not proved".
+    Unknown,
+}
+
+/// Cumulative solver statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// SMT-level checks performed.
+    pub checks: u64,
+    /// Boolean models subjected to a theory final-check.
+    pub theory_checks: u64,
+    /// Blocking clauses learned from theory conflicts.
+    pub theory_conflicts: u64,
+    /// Literals removed by conflict minimization.
+    pub minimized_literals: u64,
+}
+
+/// Configuration and statistics holder for SMT checks.
+///
+/// The solver is stateless across [`Solver::check`] calls apart from
+/// statistics, so one instance can serve many queries.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    /// SAT conflict budget per boolean search.
+    pub max_conflicts: u64,
+    /// Maximum boolean models to final-check before giving up.
+    pub max_final_checks: u64,
+    /// Theory limits per final check.
+    pub theory_limits: TheoryLimits,
+    /// Maximum literal-set size eligible for greedy conflict minimization.
+    pub minimize_up_to: usize,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default limits.
+    pub fn new() -> Solver {
+        Solver {
+            max_conflicts: 200_000,
+            max_final_checks: 4_000,
+            theory_limits: TheoryLimits::default(),
+            minimize_up_to: 24,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Checks satisfiability of `f` modulo LIA ∪ EUF.
+    pub fn check(&mut self, ctx: &Context, f: FormulaId) -> SatResult {
+        self.check_with_model(ctx, f).0
+    }
+
+    /// Like [`Solver::check`], also returning an integer model for the source
+    /// variables when satisfiable. Variables unconstrained by the found model
+    /// are absent from the map (any value works for them).
+    pub fn check_with_model(
+        &mut self,
+        ctx: &Context,
+        f: FormulaId,
+    ) -> (SatResult, Option<theory::Model>) {
+        self.stats.checks += 1;
+        match ctx.formula(f) {
+            Formula::True => return (SatResult::Sat, Some(theory::Model::new())),
+            Formula::False => return (SatResult::Unsat, None),
+            _ => {}
+        }
+        let mut sat = SatSolver::new();
+        let compiled = cnf::compile(ctx, f, &mut sat);
+        let atom_vars: Vec<(Var, FormulaId)> =
+            compiled.atoms.iter().map(|(&v, &a)| (v, a)).collect();
+        let mut saw_unknown = false;
+        for _ in 0..self.max_final_checks {
+            match sat.solve(self.max_conflicts) {
+                SatOutcome::Unsat => {
+                    return if saw_unknown {
+                        (SatResult::Unknown, None)
+                    } else {
+                        (SatResult::Unsat, None)
+                    };
+                }
+                SatOutcome::Unknown => return (SatResult::Unknown, None),
+                SatOutcome::Sat => {}
+            }
+            let literals: Vec<TheoryLit> = atom_vars
+                .iter()
+                .map(|&(v, a)| (a, sat.value(v)))
+                .collect();
+            self.stats.theory_checks += 1;
+            let (verdict, model) = theory::check_with_model(ctx, &literals, &self.theory_limits);
+            match verdict {
+                TheoryResult::Consistent => return (SatResult::Sat, model),
+                TheoryResult::Inconsistent => {
+                    self.stats.theory_conflicts += 1;
+                    let core = self.minimize(ctx, literals);
+                    let clause: Vec<Lit> = atom_vars
+                        .iter()
+                        .filter_map(|&(v, a)| {
+                            core.iter().find(|&&(ca, _)| ca == a).map(|&(_, pol)| {
+                                if pol {
+                                    Lit::neg(v)
+                                } else {
+                                    Lit::pos(v)
+                                }
+                            })
+                        })
+                        .collect();
+                    sat.add_clause(&clause);
+                }
+                TheoryResult::Unknown => {
+                    // Cannot trust this model; block it wholesale and record
+                    // that a final Unsat is no longer conclusive.
+                    saw_unknown = true;
+                    let clause: Vec<Lit> = atom_vars
+                        .iter()
+                        .map(|&(v, _)| {
+                            if sat.value(v) {
+                                Lit::neg(v)
+                            } else {
+                                Lit::pos(v)
+                            }
+                        })
+                        .collect();
+                    sat.add_clause(&clause);
+                }
+            }
+        }
+        (SatResult::Unknown, None)
+    }
+
+    /// Greedy theory-conflict minimization: drops literals whose removal
+    /// keeps the set inconsistent, producing a stronger blocking clause.
+    fn minimize(&mut self, ctx: &Context, mut literals: Vec<TheoryLit>) -> Vec<TheoryLit> {
+        if literals.len() > self.minimize_up_to {
+            return literals;
+        }
+        let mut i = 0;
+        while i < literals.len() {
+            let removed = literals.remove(i);
+            if theory::check(ctx, &literals, &self.theory_limits) == TheoryResult::Inconsistent {
+                self.stats.minimized_literals += 1;
+                // Keep it removed; index i now points at the next literal.
+            } else {
+                literals.insert(i, removed);
+                i += 1;
+            }
+        }
+        literals
+    }
+
+    /// Whether `hypothesis ⇒ conclusion` is valid (proved by refutation).
+    /// `Unknown` counts as *not proved*.
+    pub fn is_valid(
+        &mut self,
+        ctx: &mut Context,
+        hypothesis: FormulaId,
+        conclusion: FormulaId,
+    ) -> bool {
+        let neg = ctx.not(conclusion);
+        let q = ctx.and(hypothesis, neg);
+        self.check(ctx, q) == SatResult::Unsat
+    }
+
+    /// Whether `f` is unsatisfiable.
+    pub fn is_unsat(&mut self, ctx: &Context, f: FormulaId) -> bool {
+        self.check(ctx, f) == SatResult::Unsat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> Solver {
+        Solver::new()
+    }
+
+    #[test]
+    fn propositional_reasoning() {
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let zero = ctx.int(0);
+        let a = ctx.le(x, zero);
+        let na = ctx.not(a);
+        let phi = ctx.and(a, na);
+        assert_eq!(solver().check(&ctx, phi), SatResult::Unsat);
+        let psi = ctx.or(a, na);
+        assert_eq!(solver().check(&ctx, psi), SatResult::Sat);
+    }
+
+    #[test]
+    fn arithmetic_entailment() {
+        // x > 0 ⇒ x ≥ 1 over integers.
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let zero = ctx.int(0);
+        let one = ctx.int(1);
+        let h = ctx.lt(zero, x);
+        let c = ctx.le(one, x);
+        assert!(solver().is_valid(&mut ctx, h, c));
+        // But x > 0 does not entail x ≥ 2.
+        let two = ctx.int(2);
+        let c2 = ctx.le(two, x);
+        assert!(!solver().is_valid(&mut ctx, h, c2));
+    }
+
+    #[test]
+    fn congruence_entailment() {
+        // x = α ∧ y = f(x) ⇒ y = f(α).
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let alpha = ctx.int_var("alpha");
+        let fx = ctx.app(f, vec![x]);
+        let falpha = ctx.app(f, vec![alpha]);
+        let h1 = ctx.eq(x, alpha);
+        let h2 = ctx.eq(y, fx);
+        let h = ctx.and(h1, h2);
+        let c = ctx.eq(y, falpha);
+        assert!(solver().is_valid(&mut ctx, h, c));
+    }
+
+    #[test]
+    fn disjunctive_hypothesis() {
+        // (x ≤ 0 ∨ x ≥ 10) ∧ x = 5 is unsat.
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let zero = ctx.int(0);
+        let ten = ctx.int(10);
+        let five = ctx.int(5);
+        let a = ctx.le(x, zero);
+        let b = ctx.le(ten, x);
+        let ab = ctx.or(a, b);
+        let e = ctx.eq(x, five);
+        let phi = ctx.and(ab, e);
+        assert_eq!(solver().check(&ctx, phi), SatResult::Unsat);
+    }
+
+    #[test]
+    fn paper_figure6_test_complement() {
+        // x > α ⊨ ¬(x ≤ α), and ¬(x > α) ⊨ x ≤ α — the If-rule checks from
+        // the paper's Figure 6 derivation.
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let alpha = ctx.int_var("alpha");
+        let gt = ctx.lt(alpha, x); // x > α
+        let le = ctx.le(x, alpha);
+        let nle = ctx.not(le);
+        assert!(solver().is_valid(&mut ctx, gt, nle));
+        let ngt = ctx.not(gt);
+        assert!(solver().is_valid(&mut ctx, ngt, le));
+    }
+
+    #[test]
+    fn paper_example6_loop_exit() {
+        // j = i − 1 ∧ ¬(i > 0 ∧ j ≥ 0) ⇒ ¬(i > 0) ∧ ¬(j ≥ 0).
+        let mut ctx = Context::new();
+        let i = ctx.int_var("i");
+        let j = ctx.int_var("j");
+        let zero = ctx.int(0);
+        let one = ctx.int(1);
+        let im1 = ctx.sub(i, one);
+        let inv = ctx.eq(j, im1);
+        let i_pos = ctx.lt(zero, i);
+        let j_nonneg = ctx.le(zero, j);
+        let guard = ctx.and(i_pos, j_nonneg);
+        let nguard = ctx.not(guard);
+        let h = ctx.and(inv, nguard);
+        let ni = ctx.not(i_pos);
+        let nj = ctx.not(j_nonneg);
+        let c = ctx.and(ni, nj);
+        assert!(solver().is_valid(&mut ctx, h, c));
+    }
+
+    #[test]
+    fn cross_simplification_example4() {
+        // x = f(α) + 1 ⊨ f(α) − 1 = x − 2.
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let alpha = ctx.int_var("alpha");
+        let x = ctx.int_var("x");
+        let one = ctx.int(1);
+        let two = ctx.int(2);
+        let fa = ctx.app(f, vec![alpha]);
+        let fa1 = ctx.add(fa, one);
+        let h = ctx.eq(x, fa1);
+        let lhs = ctx.sub(fa, one);
+        let rhs = ctx.sub(x, two);
+        let c = ctx.eq(lhs, rhs);
+        assert!(solver().is_valid(&mut ctx, h, c));
+    }
+
+    #[test]
+    fn unknown_on_tiny_budgets_never_unsound() {
+        // With a starving budget the solver may return Unknown but must not
+        // return a wrong Unsat for a satisfiable formula.
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let two = ctx.int(2);
+        let seven = ctx.int(7);
+        let tx = ctx.mul(two, x);
+        let ty = ctx.mul(two, y);
+        let sum = ctx.add(tx, ty);
+        let e = ctx.eq(sum, seven); // 2x + 2y = 7: unsat over ints
+        let mut s = Solver::new();
+        s.theory_limits.lia_budget = 1;
+        let r = s.check(&ctx, e);
+        assert_ne!(r, SatResult::Sat, "2x+2y=7 has no integer model");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let zero = ctx.int(0);
+        let a = ctx.le(x, zero);
+        let na = ctx.not(a);
+        let phi = ctx.and(a, na);
+        let mut s = solver();
+        let _ = s.check(&ctx, phi);
+        assert_eq!(s.stats().checks, 1);
+    }
+}

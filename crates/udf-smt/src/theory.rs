@@ -1,0 +1,518 @@
+//! Theory consistency checking for conjunctions of EUF ∪ LIA literals, and
+//! the Nelson–Oppen-style equality exchange between the two theories.
+//!
+//! Given the atom assignment produced by the SAT core, [`check`] decides
+//! whether the implied conjunction of theory literals is consistent:
+//!
+//! 1. equalities/disequalities go to the congruence closure ([`crate::euf`]),
+//! 2. every atom is linearized over *theory variables* — one per source
+//!    variable, per uninterpreted application, and per nonlinear product —
+//!    and handed to the simplex ([`crate::simplex`]),
+//! 3. EUF-derived equalities are pushed into LIA, and LIA-implied equalities
+//!    between interface terms (detected by probing) are pushed back into EUF
+//!    until fixpoint.
+//!
+//! The exchange is complete for the convex fragment and sound everywhere:
+//! `Inconsistent` is only reported for genuinely inconsistent literal sets,
+//! so the SMT layer never learns a wrong blocking clause and never reports a
+//! wrong `Unsat`.
+
+use crate::ctx::{Context, Formula, FormulaId, Term, TermId};
+use crate::euf::Euf;
+use crate::rational::Rat;
+use crate::simplex::{self, LiaProblem, LiaResult, LinCon, LinExpr, Rel};
+use std::collections::{BTreeSet, HashMap};
+
+/// Verdict for a literal conjunction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TheoryResult {
+    /// A model exists (up to the documented incompleteness of the
+    /// combination on non-convex instances).
+    Consistent,
+    /// Provably inconsistent.
+    Inconsistent,
+    /// Resource limits hit; no verdict.
+    Unknown,
+}
+
+/// Resource limits for one theory check.
+#[derive(Clone, Copy, Debug)]
+pub struct TheoryLimits {
+    /// Branch-and-bound node budget per simplex call.
+    pub lia_budget: u64,
+    /// Maximum interface pairs probed for implied equalities per round.
+    pub max_probe_pairs: usize,
+    /// Maximum Nelson–Oppen exchange rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for TheoryLimits {
+    fn default() -> TheoryLimits {
+        TheoryLimits {
+            lia_budget: simplex::DEFAULT_BNB_BUDGET,
+            max_probe_pairs: 256,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// A theory literal: an atom formula with a polarity.
+pub type TheoryLit = (FormulaId, bool);
+
+/// An integer model for the source variables mentioned by the literal set.
+/// Variables not occurring in any checked atom are unconstrained and absent.
+pub type Model = std::collections::HashMap<crate::ctx::VarId, i128>;
+
+struct Linearizer {
+    /// Theory-variable index per source variable / opaque term.
+    var_of_term: HashMap<TermId, usize>,
+    num_vars: usize,
+    memo: HashMap<TermId, Option<LinExpr>>,
+}
+
+impl Linearizer {
+    fn new() -> Linearizer {
+        Linearizer {
+            var_of_term: HashMap::new(),
+            num_vars: 0,
+            memo: HashMap::new(),
+        }
+    }
+
+    fn proxy(&mut self, t: TermId) -> usize {
+        if let Some(&v) = self.var_of_term.get(&t) {
+            return v;
+        }
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.var_of_term.insert(t, v);
+        v
+    }
+
+    /// Linear form of `t`; `None` on arithmetic overflow.
+    fn lin(&mut self, ctx: &Context, t: TermId) -> Option<LinExpr> {
+        if let Some(cached) = self.memo.get(&t) {
+            return cached.clone();
+        }
+        let result = match ctx.term(t).clone() {
+            Term::Int(c) => Some(LinExpr::constant(Rat::int(i128::from(c)))),
+            Term::Var(_) | Term::App(..) => Some(LinExpr::var(self.proxy(t))),
+            Term::Add(a, b) => {
+                let (la, lb) = (self.lin(ctx, a)?, self.lin(ctx, b)?);
+                la.checked_add(&lb)
+            }
+            Term::Sub(a, b) => {
+                let (la, lb) = (self.lin(ctx, a)?, self.lin(ctx, b)?);
+                la.checked_sub(&lb)
+            }
+            Term::Mul(a, b) => {
+                let (la, lb) = (self.lin(ctx, a)?, self.lin(ctx, b)?);
+                if la.is_constant() {
+                    lb.checked_scale(la.constant)
+                } else if lb.is_constant() {
+                    la.checked_scale(lb.constant)
+                } else {
+                    // Nonlinear product: opaque theory variable. Structurally
+                    // identical products share a proxy via hash-consing.
+                    Some(LinExpr::var(self.proxy(t)))
+                }
+            }
+        };
+        self.memo.insert(t, result.clone());
+        result
+    }
+}
+
+/// Decides consistency of the conjunction of `literals`.
+pub fn check(ctx: &Context, literals: &[TheoryLit], limits: &TheoryLimits) -> TheoryResult {
+    check_with_model(ctx, literals, limits).0
+}
+
+/// Like [`check`], additionally returning a source-variable model when the
+/// verdict is [`TheoryResult::Consistent`].
+pub fn check_with_model(
+    ctx: &Context,
+    literals: &[TheoryLit],
+    limits: &TheoryLimits,
+) -> (TheoryResult, Option<Model>) {
+    let mut euf = Euf::new();
+    let mut lz = Linearizer::new();
+    let mut base: Vec<LinCon> = Vec::new();
+    let mut diseqs: Vec<LinExpr> = Vec::new();
+
+    // Phase 1: dispatch literals to both theories.
+    for &(atom, polarity) in literals {
+        match ctx.formula(atom).clone() {
+            Formula::Eq(a, b) => {
+                if polarity {
+                    if !euf.merge(ctx, a, b) {
+                        return (TheoryResult::Inconsistent, None);
+                    }
+                } else if !euf.add_diseq(ctx, a, b) {
+                    return (TheoryResult::Inconsistent, None);
+                }
+                let (Some(la), Some(lb)) = (lz.lin(ctx, a), lz.lin(ctx, b)) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                let Some(d) = la.checked_sub(&lb) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                if polarity {
+                    base.push(LinCon {
+                        expr: d,
+                        rel: Rel::Eq,
+                    });
+                } else {
+                    diseqs.push(d);
+                }
+            }
+            Formula::Le(a, b) | Formula::Lt(a, b) => {
+                let strict = matches!(ctx.formula(atom), Formula::Lt(..));
+                euf.add_term(ctx, a);
+                euf.add_term(ctx, b);
+                let (Some(la), Some(lb)) = (lz.lin(ctx, a), lz.lin(ctx, b)) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                // polarity ∧ strict:  a <  b ≡ a − b + 1 ≤ 0
+                // polarity ∧ weak:    a ≤  b ≡ a − b ≤ 0
+                // ¬polarity ∧ strict: a ≥  b ≡ b − a ≤ 0
+                // ¬polarity ∧ weak:   a >  b ≡ b − a + 1 ≤ 0
+                let (lhs, rhs, add_one) = if polarity {
+                    (la, lb, strict)
+                } else {
+                    (lb, la, !strict)
+                };
+                let Some(mut d) = lhs.checked_sub(&rhs) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                if add_one {
+                    let Some(c) = d.constant.checked_add(Rat::ONE) else {
+                        return (TheoryResult::Unknown, None);
+                    };
+                    d.constant = c;
+                }
+                base.push(LinCon {
+                    expr: d,
+                    rel: Rel::Le,
+                });
+            }
+            other => {
+                debug_assert!(false, "non-atom in theory check: {other:?}");
+            }
+        }
+    }
+    if !euf.consistent(ctx) {
+        return (TheoryResult::Inconsistent, None);
+    }
+
+    // Interface terms: arguments of registered applications (candidates for
+    // implied-equality probing).
+    let mut interface: BTreeSet<TermId> = BTreeSet::new();
+    for &t in euf.registered_terms() {
+        if let Term::App(_, args) = ctx.term(t) {
+            for &a in args {
+                interface.insert(a);
+            }
+        }
+    }
+    let interface: Vec<TermId> = interface.into_iter().collect();
+
+    // Phase 2: Nelson–Oppen exchange.
+    for _round in 0..limits.max_rounds {
+        // EUF classes → LIA equalities.
+        let mut class_members: HashMap<u32, Vec<TermId>> = HashMap::new();
+        let registered: Vec<TermId> = euf.registered_terms().to_vec();
+        for &t in &registered {
+            let root = euf.class_id(t).expect("registered term has a class");
+            class_members.entry(root).or_default().push(t);
+        }
+        let mut constraints = base.clone();
+        for members in class_members.values() {
+            let rep = members[0];
+            let Some(lrep) = lz.lin(ctx, rep) else {
+                return (TheoryResult::Unknown, None);
+            };
+            for &m in &members[1..] {
+                let Some(lm) = lz.lin(ctx, m) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                let Some(d) = lrep.checked_sub(&lm) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                constraints.push(LinCon {
+                    expr: d,
+                    rel: Rel::Eq,
+                });
+            }
+        }
+        let problem = LiaProblem {
+            num_vars: lz.num_vars,
+            constraints: constraints.clone(),
+            diseqs: diseqs.clone(),
+        };
+        let mut budget = limits.lia_budget;
+        let model = match simplex::solve(&problem, &mut budget) {
+            LiaResult::Unsat => return (TheoryResult::Inconsistent, None),
+            LiaResult::Unknown => return (TheoryResult::Unknown, None),
+            LiaResult::Sat(m) => m,
+        };
+
+        // Probe LIA-implied equalities between interface terms whose model
+        // values coincide but whose EUF classes differ.
+        let eval = |lz: &mut Linearizer, t: TermId| -> Option<i128> {
+            let l = lz.lin(ctx, t)?;
+            let mut acc = l.constant;
+            for (&v, &c) in &l.coeffs {
+                acc = acc.checked_add(c.checked_mul(Rat::int(model[v]))?)?;
+            }
+            acc.is_integer().then(|| acc.floor())
+        };
+        let mut merged_any = false;
+        let mut probes = 0usize;
+        'outer: for i in 0..interface.len() {
+            for j in (i + 1)..interface.len() {
+                if probes >= limits.max_probe_pairs {
+                    break 'outer;
+                }
+                let (t1, t2) = (interface[i], interface[j]);
+                if euf.equal(t1, t2) {
+                    continue;
+                }
+                let (Some(v1), Some(v2)) = (eval(&mut lz, t1), eval(&mut lz, t2)) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                if v1 != v2 {
+                    continue;
+                }
+                probes += 1;
+                let (Some(l1), Some(l2)) = (lz.lin(ctx, t1), lz.lin(ctx, t2)) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                let Some(d) = l1.checked_sub(&l2) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                // Implied equality iff both `d ≤ −1` and `d ≥ 1` are
+                // infeasible under the current constraints.
+                let mut lt_con = d.clone();
+                let Some(c) = lt_con.constant.checked_add(Rat::ONE) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                lt_con.constant = c; // d + 1 ≤ 0 ≡ d ≤ −1
+                let mut gt_con = match d.checked_scale(Rat::int(-1)) {
+                    Some(g) => g,
+                    None => return (TheoryResult::Unknown, None),
+                };
+                let Some(c) = gt_con.constant.checked_add(Rat::ONE) else {
+                    return (TheoryResult::Unknown, None);
+                };
+                gt_con.constant = c; // −d + 1 ≤ 0 ≡ d ≥ 1
+                let mut implied = true;
+                for side in [lt_con, gt_con] {
+                    let mut cs = constraints.clone();
+                    cs.push(LinCon {
+                        expr: side,
+                        rel: Rel::Le,
+                    });
+                    let p = LiaProblem {
+                        num_vars: lz.num_vars,
+                        constraints: cs,
+                        diseqs: diseqs.clone(),
+                    };
+                    let mut b = limits.lia_budget;
+                    match simplex::solve(&p, &mut b) {
+                        LiaResult::Unsat => {}
+                        LiaResult::Sat(_) => {
+                            implied = false;
+                            break;
+                        }
+                        LiaResult::Unknown => return (TheoryResult::Unknown, None),
+                    }
+                }
+                if implied {
+                    if !euf.merge(ctx, t1, t2) {
+                        return (TheoryResult::Inconsistent, None);
+                    }
+                    merged_any = true;
+                }
+            }
+        }
+        if !merged_any {
+            let mut out = Model::new();
+            for (&t, &proxy) in &lz.var_of_term {
+                if let Term::Var(v) = ctx.term(t) {
+                    if let Some(&val) = model.get(proxy) {
+                        out.insert(*v, val);
+                    }
+                }
+            }
+            return (TheoryResult::Consistent, Some(out));
+        }
+    }
+    (TheoryResult::Unknown, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> TheoryLimits {
+        TheoryLimits::default()
+    }
+
+    #[test]
+    fn pure_lia_conflict() {
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let five = ctx.int(5);
+        let three = ctx.int(3);
+        let a = ctx.le(five, x); // 5 ≤ x
+        let b = ctx.le(x, three); // x ≤ 3
+        assert_eq!(
+            check(&ctx, &[(a, true), (b, true)], &limits()),
+            TheoryResult::Inconsistent
+        );
+    }
+
+    #[test]
+    fn pure_euf_conflict() {
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let fx = ctx.app(f, vec![x]);
+        let fy = ctx.app(f, vec![y]);
+        let exy = ctx.eq(x, y);
+        let efxy = ctx.eq(fx, fy);
+        assert_eq!(
+            check(&ctx, &[(exy, true), (efxy, false)], &limits()),
+            TheoryResult::Inconsistent
+        );
+    }
+
+    #[test]
+    fn lia_equality_feeds_congruence() {
+        // x ≤ y ∧ y ≤ x ∧ f(x) ≠ f(y) — needs LIA ⇒ EUF propagation.
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let fx = ctx.app(f, vec![x]);
+        let fy = ctx.app(f, vec![y]);
+        let a = ctx.le(x, y);
+        let b = ctx.le(y, x);
+        let e = ctx.eq(fx, fy);
+        assert_eq!(
+            check(&ctx, &[(a, true), (b, true), (e, false)], &limits()),
+            TheoryResult::Inconsistent
+        );
+    }
+
+    #[test]
+    fn euf_equality_feeds_lia() {
+        // x = y ∧ x ≥ 1 ∧ y ≤ 0 (equality via EUF path).
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let one = ctx.int(1);
+        let zero = ctx.int(0);
+        let e = ctx.eq(x, y);
+        let a = ctx.le(one, x);
+        let b = ctx.le(y, zero);
+        assert_eq!(
+            check(&ctx, &[(e, true), (a, true), (b, true)], &limits()),
+            TheoryResult::Inconsistent
+        );
+    }
+
+    #[test]
+    fn function_result_flows_into_arithmetic() {
+        // y = f(x) ∧ y < f(x) is inconsistent.
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let fx = ctx.app(f, vec![x]);
+        let e = ctx.eq(y, fx);
+        let l = ctx.lt(y, fx);
+        assert_eq!(
+            check(&ctx, &[(e, true), (l, true)], &limits()),
+            TheoryResult::Inconsistent
+        );
+    }
+
+    #[test]
+    fn consistent_mixed_set() {
+        // x = f(y) ∧ x ≥ 0 ∧ y ≥ x + 1 is satisfiable.
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let fy = ctx.app(f, vec![y]);
+        let zero = ctx.int(0);
+        let one = ctx.int(1);
+        let e = ctx.eq(x, fy);
+        let a = ctx.le(zero, x);
+        let x1 = ctx.add(x, one);
+        let b = ctx.le(x1, y);
+        assert_eq!(
+            check(&ctx, &[(e, true), (a, true), (b, true)], &limits()),
+            TheoryResult::Consistent
+        );
+    }
+
+    #[test]
+    fn paper_example3_shape() {
+        // Ψ: α1 > 0 ∧ x = f(α2) ∧ y = α1 entails y ≥ 0 (i.e. adding ¬(0 ≤ y)
+        // is inconsistent).
+        let mut ctx = Context::new();
+        let f = ctx.fn_sym("f", 1);
+        let a1 = ctx.int_var("alpha1");
+        let a2 = ctx.int_var("alpha2");
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let zero = ctx.int(0);
+        let fa2 = ctx.app(f, vec![a2]);
+        let h1 = ctx.lt(zero, a1);
+        let h2 = ctx.eq(x, fa2);
+        let h3 = ctx.eq(y, a1);
+        let goal = ctx.le(zero, y);
+        assert_eq!(
+            check(
+                &ctx,
+                &[(h1, true), (h2, true), (h3, true), (goal, false)],
+                &limits()
+            ),
+            TheoryResult::Inconsistent
+        );
+        // And f(α2) = x is entailed (congruence through the equality).
+        let goal2 = ctx.eq(fa2, x);
+        assert_eq!(
+            check(&ctx, &[(h2, true), (goal2, false)], &limits()),
+            TheoryResult::Inconsistent
+        );
+    }
+
+    #[test]
+    fn nonlinear_products_are_opaque_but_congruent_syntactically(){
+        // x*y = x*y is consistent trivially; x*y ≠ x*y is inconsistent
+        // because hash-consing gives both sides one proxy.
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let y = ctx.int_var("y");
+        let p1 = ctx.mul(x, y);
+        let p2 = ctx.mul(x, y);
+        let e = ctx.eq(p1, p2);
+        // eq() already folds t = t to true; build a ≠ through literals:
+        assert_eq!(ctx.formula_to_string(e), "true");
+        // 2*x stays linear: 2x ≤ 1 ∧ x ≥ 1 inconsistent.
+        let two = ctx.int(2);
+        let tx = ctx.mul(two, x);
+        let one = ctx.int(1);
+        let a = ctx.le(tx, one);
+        let b = ctx.le(one, x);
+        assert_eq!(
+            check(&ctx, &[(a, true), (b, true)], &limits()),
+            TheoryResult::Inconsistent
+        );
+    }
+}

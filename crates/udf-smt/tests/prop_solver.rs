@@ -1,0 +1,223 @@
+//! Property tests cross-checking the SMT solver against brute-force
+//! enumeration of small integer models.
+//!
+//! The crucial property is *soundness of `Unsat`*: whenever the solver
+//! reports `Unsat`, no model may exist — the consolidation engine turns
+//! `Unsat` answers into program rewrites, so a wrong `Unsat` would produce a
+//! wrong program. We enumerate all assignments over a small domain; finding
+//! any model for a formula the solver called `Unsat` is a test failure.
+//! (Incompleteness in the other direction — a spurious `Sat` — is explicitly
+//! allowed and separately measured.)
+
+use proptest::prelude::*;
+use udf_smt::ctx::{Context, Formula, FormulaId, Term, TermId};
+use udf_smt::{SatResult, Solver};
+
+/// A compact generator language for formulas over three integer variables
+/// and one unary uninterpreted function.
+#[derive(Clone, Debug)]
+enum GenTerm {
+    Const(i8),
+    Var(u8),          // 0..3
+    App(Box<GenTerm>),// f(t)
+    Add(Box<GenTerm>, Box<GenTerm>),
+    Sub(Box<GenTerm>, Box<GenTerm>),
+    MulC(i8, Box<GenTerm>),
+}
+
+#[derive(Clone, Debug)]
+enum GenFormula {
+    Le(GenTerm, GenTerm),
+    Lt(GenTerm, GenTerm),
+    Eq(GenTerm, GenTerm),
+    Not(Box<GenFormula>),
+    And(Box<GenFormula>, Box<GenFormula>),
+    Or(Box<GenFormula>, Box<GenFormula>),
+}
+
+fn gen_term_with(apps: bool) -> impl Strategy<Value = GenTerm> {
+    let leaf = prop_oneof![
+        (-4i8..5).prop_map(GenTerm::Const),
+        (0u8..3).prop_map(GenTerm::Var),
+    ];
+    leaf.prop_recursive(3, 16, 2, move |inner| {
+        let base = prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenTerm::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenTerm::Sub(Box::new(a), Box::new(b))),
+            ((-3i8..4), inner.clone()).prop_map(|(c, t)| GenTerm::MulC(c, Box::new(t))),
+        ];
+        if apps {
+            prop_oneof![base, inner.prop_map(|t| GenTerm::App(Box::new(t)))].boxed()
+        } else {
+            base.boxed()
+        }
+    })
+}
+
+fn gen_formula_with(apps: bool) -> impl Strategy<Value = GenFormula> {
+    let term = move || gen_term_with(apps);
+    let atom = prop_oneof![
+        (term(), term()).prop_map(|(a, b)| GenFormula::Le(a, b)),
+        (term(), term()).prop_map(|(a, b)| GenFormula::Lt(a, b)),
+        (term(), term()).prop_map(|(a, b)| GenFormula::Eq(a, b)),
+    ];
+    atom.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| GenFormula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenFormula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| GenFormula::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn gen_formula() -> impl Strategy<Value = GenFormula> {
+    gen_formula_with(true)
+}
+
+fn build_term(ctx: &mut Context, t: &GenTerm) -> TermId {
+    match t {
+        GenTerm::Const(c) => ctx.int(i64::from(*c)),
+        GenTerm::Var(v) => {
+            let name = ["x", "y", "z"][*v as usize];
+            ctx.int_var(name)
+        }
+        GenTerm::App(a) => {
+            let f = ctx.fn_sym("f", 1);
+            let arg = build_term(ctx, a);
+            ctx.app(f, vec![arg])
+        }
+        GenTerm::Add(a, b) => {
+            let (ta, tb) = (build_term(ctx, a), build_term(ctx, b));
+            ctx.add(ta, tb)
+        }
+        GenTerm::Sub(a, b) => {
+            let (ta, tb) = (build_term(ctx, a), build_term(ctx, b));
+            ctx.sub(ta, tb)
+        }
+        GenTerm::MulC(c, a) => {
+            let tc = ctx.int(i64::from(*c));
+            let ta = build_term(ctx, a);
+            ctx.mul(tc, ta)
+        }
+    }
+}
+
+fn build_formula(ctx: &mut Context, f: &GenFormula) -> FormulaId {
+    match f {
+        GenFormula::Le(a, b) => {
+            let (ta, tb) = (build_term(ctx, a), build_term(ctx, b));
+            ctx.le(ta, tb)
+        }
+        GenFormula::Lt(a, b) => {
+            let (ta, tb) = (build_term(ctx, a), build_term(ctx, b));
+            ctx.lt(ta, tb)
+        }
+        GenFormula::Eq(a, b) => {
+            let (ta, tb) = (build_term(ctx, a), build_term(ctx, b));
+            ctx.eq(ta, tb)
+        }
+        GenFormula::Not(g) => {
+            let fg = build_formula(ctx, g);
+            ctx.not(fg)
+        }
+        GenFormula::And(a, b) => {
+            let (fa, fb) = (build_formula(ctx, a), build_formula(ctx, b));
+            ctx.and(fa, fb)
+        }
+        GenFormula::Or(a, b) => {
+            let (fa, fb) = (build_formula(ctx, a), build_formula(ctx, b));
+            ctx.or(fa, fb)
+        }
+    }
+}
+
+/// Reference evaluation over a concrete assignment; `f` is interpreted as a
+/// fixed nontrivial function so congruence matters.
+fn eval_term(ctx: &Context, t: TermId, env: &[i64; 3]) -> i64 {
+    match ctx.term(t) {
+        Term::Int(c) => *c,
+        Term::Var(v) => {
+            let name = ctx.var_name(*v);
+            match name {
+                "x" => env[0],
+                "y" => env[1],
+                "z" => env[2],
+                other => panic!("unexpected var {other}"),
+            }
+        }
+        Term::App(_, args) => {
+            let a = eval_term(ctx, args[0], env);
+            // Fixed interpretation: f(a) = a*a − 3 (deterministic, nonlinear).
+            a.wrapping_mul(a).wrapping_sub(3)
+        }
+        Term::Add(a, b) => eval_term(ctx, *a, env).wrapping_add(eval_term(ctx, *b, env)),
+        Term::Sub(a, b) => eval_term(ctx, *a, env).wrapping_sub(eval_term(ctx, *b, env)),
+        Term::Mul(a, b) => eval_term(ctx, *a, env).wrapping_mul(eval_term(ctx, *b, env)),
+    }
+}
+
+fn eval_formula(ctx: &Context, f: FormulaId, env: &[i64; 3]) -> bool {
+    match ctx.formula(f) {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Le(a, b) => eval_term(ctx, *a, env) <= eval_term(ctx, *b, env),
+        Formula::Lt(a, b) => eval_term(ctx, *a, env) < eval_term(ctx, *b, env),
+        Formula::Eq(a, b) => eval_term(ctx, *a, env) == eval_term(ctx, *b, env),
+        Formula::Not(g) => !eval_formula(ctx, *g, env),
+        Formula::And(a, b) => eval_formula(ctx, *a, env) && eval_formula(ctx, *b, env),
+        Formula::Or(a, b) => eval_formula(ctx, *a, env) || eval_formula(ctx, *b, env),
+    }
+}
+
+fn brute_force_has_model(ctx: &Context, f: FormulaId) -> Option<[i64; 3]> {
+    const D: std::ops::RangeInclusive<i64> = -4..=4;
+    for x in D {
+        for y in D {
+            for z in D {
+                let env = [x, y, z];
+                if eval_formula(ctx, f, &env) {
+                    return Some(env);
+                }
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `Unsat` verdicts are sound: no small-domain model may exist.
+    #[test]
+    fn unsat_is_sound(gf in gen_formula()) {
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &gf);
+        let mut solver = Solver::new();
+        let result = solver.check(&ctx, f);
+        if result == SatResult::Unsat {
+            if let Some(model) = brute_force_has_model(&ctx, f) {
+                panic!(
+                    "solver said Unsat but {model:?} satisfies {}",
+                    ctx.formula_to_string(f)
+                );
+            }
+        }
+    }
+
+    /// Purely linear formulas (no uninterpreted function): the solver is a
+    /// complete decision procedure, so a brute-force model forces `Sat`.
+    #[test]
+    fn linear_sat_is_found(gf in gen_formula_with(false)) {
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &gf);
+        let mut solver = Solver::new();
+        let result = solver.check(&ctx, f);
+        if brute_force_has_model(&ctx, f).is_some() {
+            prop_assert_ne!(result, SatResult::Unsat);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Injects measured benchmark tables into EXPERIMENTS.md.
+
+Usage: python3 fill_experiments.py
+Reads fig9_full.log / fig10_full.log / ablation.log when present and replaces
+the corresponding <!-- *_TABLE --> markers with fenced code blocks.
+"""
+import os
+import re
+
+MARKERS = {
+    "<!-- FIG9_TABLE -->": "fig9_full.log",
+    "<!-- FIG10_TABLE -->": "fig10_full.log",
+    "<!-- ABLATION_TABLE -->": "ablation.log",
+}
+
+
+def main() -> None:
+    with open("EXPERIMENTS.md", encoding="utf-8") as fh:
+        text = fh.read()
+    for marker, log in MARKERS.items():
+        if marker not in text:
+            continue
+        if not os.path.exists(log):
+            continue
+        with open(log, encoding="utf-8") as fh:
+            body = fh.read().strip()
+        # Drop cargo noise lines.
+        lines = [
+            ln
+            for ln in body.splitlines()
+            if not re.match(r"\s*(Compiling|Finished|Running|warning)", ln)
+        ]
+        block = "```text\n" + "\n".join(lines) + "\n```"
+        text = text.replace(marker, block)
+    with open("EXPERIMENTS.md", "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

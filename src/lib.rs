@@ -1,0 +1,30 @@
+//! # query-consolidation
+//!
+//! A reproduction of *Consolidation of Queries with User-Defined Functions*
+//! (Sousa, Dillig, Vytiniotis, Dillig, Gkantsidis — PLDI 2014): a purely
+//! static, SMT-driven optimizer that merges many user-defined functions
+//! (UDFs) operating on the same input into one consolidated program whose
+//! execution cost is never larger — and often far smaller — than running the
+//! UDFs sequentially.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`lang`] — the imperative UDF language, cost model, and interpreter,
+//! * [`smt`] — the from-scratch lazy SMT solver (CDCL + EUF + linear integer
+//!   arithmetic) used for entailment checks,
+//! * [`engine`] — the consolidation calculus and the Ω algorithm,
+//! * [`dataflow`] — the Naiad-like multi-worker execution substrate with
+//!   `where_many` / `where_consolidated` operators,
+//! * [`workloads`] — the five evaluation domains (Weather, Flight, News,
+//!   Twitter, Stock) with dataset generators and query families.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use consolidate as engine;
+pub use naiad_lite as dataflow;
+pub use udf_data as workloads;
+pub use udf_lang as lang;
+pub use udf_smt as smt;

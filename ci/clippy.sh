@@ -1,0 +1,10 @@
+#!/bin/sh
+# Lint gate for the fail-soft layers: naiad-lite (engine, quarantine, fault
+# injection) and consolidate (budgeted consolidation). Production code in
+# these crates must not unwrap — faults are data here, not bugs — so
+# clippy::unwrap_used is denied on top of all default warnings. Integration
+# tests and unit-test modules opt back in via explicit allow attributes.
+set -eu
+cd "$(dirname "$0")/.."
+cargo clippy -p naiad-lite -p consolidate --all-targets --no-deps -- \
+    -D warnings -D clippy::unwrap_used

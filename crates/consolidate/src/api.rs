@@ -1,9 +1,11 @@
 //! Public entry points: pairwise consolidation (`Π₁ ⊗ Π₂`) and the parallel
 //! divide-and-conquer consolidation of `n` programs (paper §6.1).
 
+use crate::budget::{BudgetState, DegradationTier};
 use crate::rules::{Engine, Options, RuleStats};
 use crate::symbolic::{SymState, SymbolicCtx};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use udf_lang::analysis::{notify_ids, rename_locals};
 use udf_lang::ast::Program;
@@ -39,15 +41,29 @@ impl fmt::Display for ConsolidateError {
 
 impl std::error::Error for ConsolidateError {}
 
+/// Aggregated statistics of one consolidation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsolidationStats {
+    /// Rule application counters (summed over all pairs for n-way runs).
+    pub rules: RuleStats,
+    /// Total entailment queries issued.
+    pub entailment_queries: u64,
+    /// Pairs processed through the Ω engine.
+    pub pairs_consolidated: u64,
+    /// Pairs merged by plain concatenation because the budget had already
+    /// run out when they were reached.
+    pub pairs_degraded: u64,
+    /// How much of the run completed before budgets ran out.
+    pub tier: DegradationTier,
+}
+
 /// Result of one consolidation run.
 #[derive(Debug, Clone)]
 pub struct Consolidated {
     /// The merged program.
     pub program: Program,
-    /// Rule application counters (summed over all pairs for n-way runs).
-    pub stats: RuleStats,
-    /// Total entailment queries issued.
-    pub entailment_queries: u64,
+    /// Run statistics, including the degradation tier.
+    pub stats: ConsolidationStats,
     /// Wall-clock time spent consolidating.
     pub elapsed: Duration,
 }
@@ -62,6 +78,75 @@ fn check_compatible(p1: &Program, p2: &Program) -> Result<(), ConsolidateError> 
         return Err(ConsolidateError::DuplicateIds);
     }
     Ok(())
+}
+
+/// Whether any cost-reducing rewrite landed (concatenation-only outputs
+/// have none; `loop_seq` executes loops sequentially, so it doesn't count).
+fn any_rewrites(r: &RuleStats) -> bool {
+    r.if_eliminated + r.if3 + r.if4 + r.if5 + r.loop2 + r.loop3 > 0
+}
+
+/// The trivially sound merge: run `p1` then `p2` — exactly `where_many`
+/// semantics expressed as one program.
+fn sequential_merge(p1: &Program, p2: &Program) -> Program {
+    Program::new(
+        p1.id,
+        p1.params.clone(),
+        p1.body.clone().then(p2.body.clone()),
+    )
+}
+
+/// One pair through the Ω engine, charging the shared budget when present.
+fn consolidate_pair_budgeted(
+    p1: &Program,
+    p2: &Program,
+    interner: &Interner,
+    cm: &CostModel,
+    fns: &dyn FnCost,
+    opts: &Options,
+    budget: Option<&Arc<BudgetState>>,
+) -> Result<Consolidated, ConsolidateError> {
+    check_compatible(p1, p2)?;
+    let start = Instant::now();
+    if budget.is_some_and(|b| b.exhausted()) {
+        return Ok(Consolidated {
+            program: sequential_merge(p1, p2),
+            stats: ConsolidationStats {
+                pairs_degraded: 1,
+                tier: DegradationTier::Sequential,
+                ..ConsolidationStats::default()
+            },
+            elapsed: start.elapsed(),
+        });
+    }
+    let mut cx = SymbolicCtx::new(interner, opts.mode);
+    cx.set_solver(opts.solver.clone());
+    if let Some(b) = budget {
+        cx.set_budget(Arc::clone(b));
+    }
+    let st = SymState::initial(&mut cx, &p1.params);
+    let mut engine = Engine::new(&mut cx, cm, fns, opts, p1.params.iter().copied());
+    let body = engine.omega(st, p1.body.clone(), p2.body.clone(), 0);
+    let rules = engine.stats;
+    let exhausted = cx.budget_exhausted();
+    let tier = if !exhausted {
+        DegradationTier::Full
+    } else if any_rewrites(&rules) {
+        DegradationTier::Partial
+    } else {
+        DegradationTier::Sequential
+    };
+    Ok(Consolidated {
+        program: Program::new(p1.id, p1.params.clone(), body),
+        stats: ConsolidationStats {
+            rules,
+            entailment_queries: cx.entailment_queries(),
+            pairs_consolidated: 1,
+            pairs_degraded: 0,
+            tier,
+        },
+        elapsed: start.elapsed(),
+    })
 }
 
 /// Consolidates two programs whose local variables are already disjoint
@@ -80,19 +165,8 @@ pub fn consolidate_pair_prerenamed(
     fns: &dyn FnCost,
     opts: &Options,
 ) -> Result<Consolidated, ConsolidateError> {
-    check_compatible(p1, p2)?;
-    let start = Instant::now();
-    let mut cx = SymbolicCtx::new(interner, opts.mode);
-    let st = SymState::initial(&mut cx, &p1.params);
-    let mut engine = Engine::new(&mut cx, cm, fns, opts, p1.params.iter().copied());
-    let body = engine.omega(st, p1.body.clone(), p2.body.clone(), 0);
-    let stats = engine.stats;
-    Ok(Consolidated {
-        program: Program::new(p1.id, p1.params.clone(), body),
-        stats,
-        entailment_queries: cx.entailment_queries(),
-        elapsed: start.elapsed(),
-    })
+    let state = (!opts.budget.is_unlimited()).then(|| Arc::new(BudgetState::new(&opts.budget)));
+    consolidate_pair_budgeted(p1, p2, interner, cm, fns, opts, state.as_ref())
 }
 
 /// Consolidates two programs, renaming their local variables apart first.
@@ -120,10 +194,17 @@ pub fn consolidate_pair(
 /// level of a balanced reduction tree, with the pairs of each level
 /// consolidated on separate threads.
 ///
+/// The run's [`crate::budget::ConsolidationBudget`] (`opts.budget`) is
+/// shared across all pair threads. On exhaustion the output degrades but
+/// the call still succeeds: pairs in flight finish by emitting remaining
+/// statements verbatim, later pairs are merged by plain concatenation, and
+/// the result's [`ConsolidationStats::tier`] records how far degradation
+/// went (see the lattice in [`crate::budget`]).
+///
 /// # Errors
 ///
 /// Returns [`ConsolidateError::Empty`] for an empty input and propagates
-/// compatibility errors from pairing.
+/// compatibility errors from pairing. Budget exhaustion is *not* an error.
 pub fn consolidate_many(
     programs: &[Program],
     interner: &mut Interner,
@@ -136,6 +217,7 @@ pub fn consolidate_many(
         return Err(ConsolidateError::Empty);
     }
     let start = Instant::now();
+    let state = Arc::new(BudgetState::new(&opts.budget));
     // Rename all locals apart up front (needs &mut Interner); the reduction
     // itself only reads the interner and can run in parallel.
     let mut level: Vec<Program> = programs
@@ -143,8 +225,7 @@ pub fn consolidate_many(
         .enumerate()
         .map(|(k, p)| rename_locals(p, interner, &format!("u{k}$")))
         .collect();
-    let mut stats = RuleStats::default();
-    let mut queries = 0u64;
+    let mut stats = ConsolidationStats::default();
     let frozen: &Interner = interner;
     while level.len() > 1 {
         let mut next: Vec<Program> = Vec::with_capacity(level.len().div_ceil(2));
@@ -154,23 +235,43 @@ pub fn consolidate_many(
                 let handles: Vec<_> = pairs
                     .iter()
                     .map(|&(a, b)| {
+                        let state = Arc::clone(&state);
                         scope.spawn(move || {
-                            consolidate_pair_prerenamed(a, b, frozen, cm, fns, opts)
+                            consolidate_pair_budgeted(a, b, frozen, cm, fns, opts, Some(&state))
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("pair thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        // A panicking pair thread degrades its pair, not
+                        // the whole run: concatenation is always available.
+                        h.join().unwrap_or(Err(ConsolidateError::Empty))
+                    })
+                    .collect()
             })
         } else {
             pairs
                 .iter()
-                .map(|&(a, b)| consolidate_pair_prerenamed(a, b, frozen, cm, fns, opts))
+                .map(|&(a, b)| consolidate_pair_budgeted(a, b, frozen, cm, fns, opts, Some(&state)))
                 .collect()
         };
-        for r in results {
-            let c = r?;
+        for (k, r) in results.into_iter().enumerate() {
+            let c = match r {
+                Ok(c) => c,
+                Err(e @ (ConsolidateError::ParamMismatch | ConsolidateError::DuplicateIds)) => {
+                    return Err(e);
+                }
+                // Only the poisoned-thread placeholder reaches here (the
+                // `Empty` check ran before the loop): degrade this pair.
+                Err(ConsolidateError::Empty) => {
+                    let (a, b) = pairs[k];
+                    stats.pairs_degraded += 1;
+                    next.push(sequential_merge(a, b));
+                    continue;
+                }
+            };
             add_stats(&mut stats, &c.stats);
-            queries += c.entailment_queries;
             next.push(c.program);
         }
         if level.len() % 2 == 1 {
@@ -179,21 +280,32 @@ pub fn consolidate_many(
         level = next;
     }
     let program = level.pop().expect("non-empty reduction");
+    stats.tier = if !state.exhausted() && stats.pairs_degraded == 0 {
+        DegradationTier::Full
+    } else if any_rewrites(&stats.rules) {
+        DegradationTier::Partial
+    } else {
+        DegradationTier::Sequential
+    };
     Ok(Consolidated {
         program,
         stats,
-        entailment_queries: queries,
         elapsed: start.elapsed(),
     })
 }
 
-fn add_stats(acc: &mut RuleStats, s: &RuleStats) {
-    acc.if_eliminated += s.if_eliminated;
-    acc.if3 += s.if3;
-    acc.if4 += s.if4;
-    acc.if5 += s.if5;
-    acc.loop2 += s.loop2;
-    acc.loop3 += s.loop3;
-    acc.loop_seq += s.loop_seq;
-    acc.depth_fallbacks += s.depth_fallbacks;
+fn add_stats(acc: &mut ConsolidationStats, s: &ConsolidationStats) {
+    let (a, r) = (&mut acc.rules, &s.rules);
+    a.if_eliminated += r.if_eliminated;
+    a.if3 += r.if3;
+    a.if4 += r.if4;
+    a.if5 += r.if5;
+    a.loop2 += r.loop2;
+    a.loop3 += r.loop3;
+    a.loop_seq += r.loop_seq;
+    a.depth_fallbacks += r.depth_fallbacks;
+    a.budget_fallbacks += r.budget_fallbacks;
+    acc.entailment_queries += s.entailment_queries;
+    acc.pairs_consolidated += s.pairs_consolidated;
+    acc.pairs_degraded += s.pairs_degraded;
 }

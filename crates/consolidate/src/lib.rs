@@ -52,14 +52,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Production code must justify fallibility; tests may unwrap freely.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod api;
+pub mod budget;
 pub mod invariants;
 pub mod rules;
 pub mod simplify;
 pub mod symbolic;
 
 pub use api::{consolidate_many, consolidate_pair, consolidate_pair_prerenamed, Consolidated,
-              ConsolidateError};
+              ConsolidateError, ConsolidationStats};
+pub use budget::{BudgetState, ConsolidationBudget, DegradationTier};
 pub use rules::{IfPolicy, Options, RuleStats};
 pub use symbolic::EntailmentMode;

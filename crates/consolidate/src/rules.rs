@@ -74,6 +74,13 @@ pub struct Options {
     /// budget runs out the engine emits the remaining statements verbatim —
     /// always sound, merely less optimized.
     pub max_pair_queries: u64,
+    /// Run-wide resource budget (deadline / solver queries / rule depth);
+    /// exhaustion degrades the output along the lattice documented in
+    /// [`crate::budget`] instead of erroring or hanging.
+    pub budget: crate::budget::ConsolidationBudget,
+    /// The SMT solver configuration used for entailment checks (resource
+    /// limits, fault-injection hooks). Cloned into each pair consolidation.
+    pub solver: udf_smt::Solver,
 }
 
 impl Default for Options {
@@ -87,6 +94,8 @@ impl Default for Options {
             if3_size_limit: 768,
             max_depth: 512,
             max_pair_queries: 900,
+            budget: crate::budget::ConsolidationBudget::UNLIMITED,
+            solver: udf_smt::Solver::new(),
         }
     }
 }
@@ -110,6 +119,9 @@ pub struct RuleStats {
     pub loop_seq: u64,
     /// Depth-guard fallbacks (verbatim emission).
     pub depth_fallbacks: u64,
+    /// Budget-exhaustion fallbacks (verbatim emission because the run's
+    /// [`crate::budget::ConsolidationBudget`] ran out).
+    pub budget_fallbacks: u64,
 }
 
 /// The Ω engine.
@@ -199,6 +211,16 @@ impl<'c, 'i> Engine<'c, 'i> {
     /// Consolidates `s1 ⊗ s2` under `st`, returning the merged statement.
     /// This is `Ω′` from Figure 8.
     pub fn omega(&mut self, st: SymState, s1: Stmt, s2: Stmt, depth: usize) -> Stmt {
+        if self.cx.budget_exhausted()
+            || self
+                .opts
+                .budget
+                .max_rule_depth
+                .is_some_and(|limit| depth > limit)
+        {
+            self.stats.budget_fallbacks += 1;
+            return s1.then(s2);
+        }
         if depth > self.opts.max_depth
             || self.cx.entailment_queries() - self.query_base > self.opts.max_pair_queries
         {

@@ -35,6 +35,9 @@ pub enum EntailmentMode {
     Syntactic,
 }
 
+/// A satisfying assignment, as returned by the solver.
+pub type Model = HashMap<udf_smt::VarId, i128>;
+
 /// Shared symbolic machinery for one consolidation run.
 pub struct SymbolicCtx<'i> {
     /// The underlying SMT context (public for tests and extensions).
@@ -44,12 +47,13 @@ pub struct SymbolicCtx<'i> {
     mode: EntailmentMode,
     fn_syms: HashMap<Symbol, udf_smt::FnSym>,
     valid_cache: HashMap<(FormulaId, FormulaId), bool>,
-    model_cache: HashMap<FormulaId, Option<HashMap<udf_smt::VarId, i128>>>,
-    probe_cache: HashMap<(FormulaId, TermId), Option<(HashMap<udf_smt::VarId, i128>, i128)>>,
+    model_cache: HashMap<FormulaId, Option<Model>>,
+    probe_cache: HashMap<(FormulaId, TermId), Option<(Model, i128)>>,
     fvars_cache: HashMap<FormulaId, std::rc::Rc<BTreeSet<udf_smt::VarId>>>,
     probe_counter: u64,
     entailment_queries: u64,
     entailment_cache_hits: u64,
+    budget: Option<std::sync::Arc<crate::budget::BudgetState>>,
 }
 
 impl<'i> std::fmt::Debug for SymbolicCtx<'i> {
@@ -77,12 +81,30 @@ impl<'i> SymbolicCtx<'i> {
             probe_counter: 0,
             entailment_queries: 0,
             entailment_cache_hits: 0,
+            budget: None,
         }
     }
 
     /// Overrides the SMT resource limits (used by benchmarks).
     pub fn set_solver(&mut self, solver: Solver) {
         self.solver = solver;
+    }
+
+    /// Attaches shared budget accounting; every solver-backed query charges
+    /// it, and an exhausted budget makes all queries answer "not proved".
+    pub fn set_budget(&mut self, budget: std::sync::Arc<crate::budget::BudgetState>) {
+        self.budget = Some(budget);
+    }
+
+    /// Whether the attached budget (if any) has run out.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.as_ref().is_some_and(|b| b.exhausted())
+    }
+
+    /// Charges one solver query against the budget; `false` means the query
+    /// must be treated as unproved without touching the solver.
+    fn charge_budget(&self) -> bool {
+        self.budget.as_ref().is_none_or(|b| b.charge_query())
     }
 
     /// Number of entailment queries asked so far (including cache hits).
@@ -171,6 +193,12 @@ impl<'i> SymbolicCtx<'i> {
                 st.conjuncts.contains(&phi) || self.smt.formula(phi) == &udf_smt::ctx::Formula::True
             }
             EntailmentMode::Smt => {
+                // Budget exhaustion downgrades every entailment to "not
+                // proved" — the same sound answer an `Unknown` from the
+                // solver produces, so rewrites are lost but never wrong.
+                if self.budget_exhausted() {
+                    return false;
+                }
                 let psi = if st.conjuncts.len() >= 24 {
                     self.cone_of_influence(st, phi)
                 } else {
@@ -179,6 +207,9 @@ impl<'i> SymbolicCtx<'i> {
                 if let Some(&v) = self.valid_cache.get(&(psi, phi)) {
                     self.entailment_cache_hits += 1;
                     return v;
+                }
+                if !self.charge_budget() {
+                    return false;
                 }
                 let v = self.solver.is_valid(&mut self.smt, psi, phi);
                 self.valid_cache.insert((psi, phi), v);
@@ -235,12 +266,17 @@ impl<'i> SymbolicCtx<'i> {
     }
 
     /// A model of `Ψ` (if satisfiable and within budget). Cached per `Ψ`.
-    pub fn model(&mut self, st: &SymState) -> Option<HashMap<udf_smt::VarId, i128>> {
+    pub fn model(&mut self, st: &SymState) -> Option<Model> {
         if self.mode == EntailmentMode::Syntactic {
             return None;
         }
         if let Some(m) = self.model_cache.get(&st.psi) {
             return m.clone();
+        }
+        // "No model" is the sound budget-exhausted answer: simplification
+        // candidates simply aren't proposed.
+        if !self.charge_budget() {
+            return None;
         }
         let (r, m) = self.solver.check_with_model(&self.smt, st.psi);
         let out = if r == SatResult::Sat { m } else { None };
@@ -256,12 +292,15 @@ impl<'i> SymbolicCtx<'i> {
         &mut self,
         st: &SymState,
         t: TermId,
-    ) -> Option<(HashMap<udf_smt::VarId, i128>, i128)> {
+    ) -> Option<(Model, i128)> {
         if self.mode == EntailmentMode::Syntactic {
             return None;
         }
         if let Some(cached) = self.probe_cache.get(&(st.psi, t)) {
             return cached.clone();
+        }
+        if !self.charge_budget() {
+            return None;
         }
         let probe_name = format!("%probe{}", self.probe_counter);
         self.probe_counter += 1;
@@ -293,7 +332,7 @@ impl<'i> SymbolicCtx<'i> {
     pub fn model_value(
         &mut self,
         st: &SymState,
-        model: &HashMap<udf_smt::VarId, i128>,
+        model: &Model,
         var: Symbol,
     ) -> i128 {
         let t = self.smt_var(var, st.version(var));

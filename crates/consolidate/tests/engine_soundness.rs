@@ -1,3 +1,6 @@
+// Integration tests may unwrap freely; the clippy gate denies it in src/.
+#![allow(clippy::unwrap_used)]
+
 //! Executable soundness (paper Definition 1 / Theorem 1): for any input,
 //! the consolidated program produces
 //!
@@ -364,7 +367,7 @@ fn paper_example6_loop_fusion() {
         &Options::default(),
     )
     .unwrap();
-    assert_eq!(merged.stats.loop2, 1, "Loop 2 should fire: {:?}", merged.stats);
+    assert_eq!(merged.stats.rules.loop2, 1, "Loop 2 should fire: {:?}", merged.stats);
     // The fused loop calls f once per iteration: cost(merged) must be far
     // below the sum for sizeable alpha.
     let interp = Interp::new(CostModel::default(), &lib);
@@ -509,8 +512,10 @@ fn syntactic_ablation_is_still_sound() {
         &mut interner,
     )
     .unwrap();
-    let mut opts = Options::default();
-    opts.mode = consolidate::EntailmentMode::Syntactic;
+    let opts = Options {
+        mode: consolidate::EntailmentMode::Syntactic,
+        ..Options::default()
+    };
     let merged =
         consolidate_pair_prerenamed(&p1, &p2, &interner, &CostModel::default(), &lib, &opts)
             .unwrap();

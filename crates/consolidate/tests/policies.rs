@@ -1,3 +1,6 @@
+// Integration tests may unwrap freely; the clippy gate denies it in src/.
+#![allow(clippy::unwrap_used)]
+
 //! Behavioural tests for the If 3/4/5 policies and the loop-fusion and
 //! SMT ablation switches: every configuration stays sound; the policies
 //! trade size for sharing exactly as §4's remark describes.
@@ -54,7 +57,7 @@ fn run_config(opts: &Options) -> (usize, consolidate::RuleStats) {
             assert!(m.cost <= a.cost + b.cost, "cost regressed under {opts:?}");
         }
     }
-    (merged.program.size(), merged.stats)
+    (merged.program.size(), merged.stats.rules)
 }
 
 #[test]
@@ -116,7 +119,7 @@ fn loop_fusion_switch_controls_loop2() {
     let cm = CostModel::default();
     let fused =
         consolidate_pair_prerenamed(&r1, &r2, &interner, &cm, &lib, &Options::default()).unwrap();
-    assert_eq!(fused.stats.loop2, 1, "{:?}", fused.stats);
+    assert_eq!(fused.stats.rules.loop2, 1, "{:?}", fused.stats);
     let unfused = consolidate_pair_prerenamed(
         &r1,
         &r2,
@@ -129,8 +132,8 @@ fn loop_fusion_switch_controls_loop2() {
         },
     )
     .unwrap();
-    assert_eq!(unfused.stats.loop2, 0, "{:?}", unfused.stats);
-    assert_eq!(unfused.stats.loop_seq, 1, "{:?}", unfused.stats);
+    assert_eq!(unfused.stats.rules.loop2, 0, "{:?}", unfused.stats);
+    assert_eq!(unfused.stats.rules.loop_seq, 1, "{:?}", unfused.stats);
     // Both are correct; the fused one is cheaper.
     let interp = Interp::new(cm, &lib);
     let cf = interp.run(&fused.program, &[0], &interner).unwrap();

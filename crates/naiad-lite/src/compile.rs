@@ -322,6 +322,9 @@ impl From<LibError> for VmError {
 /// No broadcast recorded for a query in the output buffer.
 pub const NOTIFY_NONE: i8 = -1;
 
+/// Default per-record step budget of a fresh [`Vm`] (see [`Vm::with_fuel`]).
+pub const DEFAULT_FUEL: u64 = 100_000_000;
+
 /// A reusable evaluation machine (stack + slots + scratch argument buffer).
 #[derive(Debug, Default)]
 pub struct Vm {
@@ -338,7 +341,7 @@ impl Vm {
             stack: Vec::with_capacity(32),
             slots: Vec::new(),
             args: Vec::with_capacity(8),
-            fuel: 100_000_000,
+            fuel: DEFAULT_FUEL,
         }
     }
 

@@ -7,10 +7,30 @@
 //! notifications into per-query selection counts. The report separates the
 //! UDF-phase wall time from everything else, matching the paper's
 //! "UDF time" vs "total time" columns.
+//!
+//! # Failure model
+//!
+//! A long-running job over millions of records should not die because one
+//! record trips a library error or exhausts its step budget. The engine's
+//! [`ErrorPolicy`] chooses between two behaviours:
+//!
+//! * [`ErrorPolicy::FailFast`] (the default) aborts the job on the first
+//!   faulting record, as the original engine did;
+//! * [`ErrorPolicy::Quarantine`] excludes the faulting record from *every*
+//!   query's output, records it in the job's [`QuarantineReport`], and keeps
+//!   going. Per-record execution is additionally wrapped in
+//!   [`std::panic::catch_unwind`], so a panicking UDF environment poisons
+//!   only the record that triggered it, not the worker or the process.
+//!
+//! Because a quarantined record is dropped from all queries in both
+//! [`ExecMode::Many`] and [`ExecMode::Consolidated`], the two modes stay
+//! notification-equivalent on the surviving records — the consolidation
+//! correctness story (Theorem 1) is unaffected by which policy runs.
 
-use crate::compile::{Compiled, Vm, VmError, NOTIFY_NONE};
+use crate::compile::{Compiled, Vm, VmError, DEFAULT_FUEL, NOTIFY_NONE};
 use crate::env::UdfEnv;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 use udf_lang::ast::ProgId;
 use udf_lang::cost::{Cost, CostModel};
@@ -36,6 +56,9 @@ pub struct QuerySet {
     pub consolidated: Option<Compiled>,
     /// Time spent consolidating (reported separately, as in Figure 10).
     pub consolidation_time: Duration,
+    /// Per-record VM step budget ([`DEFAULT_FUEL`] unless overridden here or
+    /// by [`EngineConfig::fuel`]).
+    pub fuel: u64,
 }
 
 impl QuerySet {
@@ -60,7 +83,15 @@ impl QuerySet {
             many,
             consolidated: None,
             consolidation_time: Duration::ZERO,
+            fuel: DEFAULT_FUEL,
         })
+    }
+
+    /// Overrides the per-record VM step budget for this query set.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> QuerySet {
+        self.fuel = fuel;
+        self
     }
 
     /// Attaches a consolidated program (it must notify exactly the ids in
@@ -82,18 +113,178 @@ impl QuerySet {
     }
 }
 
-/// Execution failure with its record index.
+/// How the engine reacts to per-record execution failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorPolicy {
+    /// Abort the whole job on the first faulting record (original behaviour).
+    FailFast,
+    /// Keep running: faulting records are excluded from every query's output
+    /// and recorded in the job's [`QuarantineReport`]. The job still fails
+    /// with [`EngineError::TooManyErrors`] once more than `max_errors`
+    /// records have been quarantined, bounding error floods.
+    Quarantine {
+        /// Maximum records allowed into quarantine before the job fails.
+        max_errors: usize,
+    },
+}
+
+/// Engine-wide execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Per-record failure handling.
+    pub error_policy: ErrorPolicy,
+    /// Per-record VM step budget override (`None` uses [`QuerySet::fuel`]).
+    pub fuel: Option<u64>,
+    /// How many quarantine entries keep a copy of the record's scalar
+    /// arguments (the sample payload); later entries record only the index,
+    /// query and error kind, keeping report size bounded.
+    pub max_payload_samples: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            error_policy: ErrorPolicy::FailFast,
+            fuel: None,
+            max_payload_samples: 8,
+        }
+    }
+}
+
+/// Classification of a quarantined record's failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The UDF broadcast twice for the same query.
+    DuplicateNotify,
+    /// An external library call failed.
+    Lib,
+    /// The record exceeded the VM step budget.
+    OutOfFuel,
+    /// The UDF environment panicked while evaluating the record.
+    Panic,
+}
+
+impl ErrorKind {
+    /// Classifies a [`VmError`].
+    pub fn of(e: &VmError) -> ErrorKind {
+        match e {
+            VmError::DuplicateNotify(_) => ErrorKind::DuplicateNotify,
+            VmError::Lib(_) => ErrorKind::Lib,
+            VmError::OutOfFuel => ErrorKind::OutOfFuel,
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::DuplicateNotify => "duplicate-notify",
+            ErrorKind::Lib => "lib-error",
+            ErrorKind::OutOfFuel => "out-of-fuel",
+            ErrorKind::Panic => "panic",
+        })
+    }
+}
+
+/// One quarantined record.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EngineError {
-    /// Index of the offending record.
+pub struct QuarantineEntry {
+    /// Global index of the faulting record.
     pub record: usize,
-    /// Underlying VM error.
-    pub error: VmError,
+    /// The query whose UDF faulted (`None` for the consolidated program,
+    /// which evaluates all queries at once).
+    pub query: Option<ProgId>,
+    /// Failure classification.
+    pub kind: ErrorKind,
+    /// Human-readable failure detail (error display or panic message).
+    pub detail: String,
+    /// The record's scalar arguments, captured for the first
+    /// [`EngineConfig::max_payload_samples`] entries only.
+    pub sample: Option<Vec<i64>>,
+}
+
+/// Per-run account of everything the engine dropped instead of failing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// One entry per quarantined record, in record order.
+    pub entries: Vec<QuarantineEntry>,
+    /// Total quarantined records (equals `entries.len()`).
+    pub records_quarantined: usize,
+    /// Worker shards lost to a panic outside per-record execution.
+    pub shards_lost: usize,
+    /// Records in lost shards (not individually attributable).
+    pub records_lost: usize,
+}
+
+impl QuarantineReport {
+    /// `true` when nothing was dropped.
+    pub fn is_clean(&self) -> bool {
+        self.records_quarantined == 0 && self.shards_lost == 0
+    }
+
+    /// Sorted indices of the quarantined records.
+    pub fn records(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.entries.iter().map(|e| e.record).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Job-level execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A record's UDF failed under [`ErrorPolicy::FailFast`].
+    Record {
+        /// Index of the offending record.
+        record: usize,
+        /// Underlying VM error.
+        error: VmError,
+    },
+    /// A record's UDF panicked under [`ErrorPolicy::FailFast`].
+    RecordPanic {
+        /// Index of the offending record.
+        record: usize,
+        /// Panic payload rendered as text.
+        message: String,
+    },
+    /// A worker thread panicked outside per-record execution.
+    WorkerPanicked {
+        /// Shard index of the poisoned worker.
+        shard: usize,
+        /// Panic payload rendered as text.
+        message: String,
+    },
+    /// [`ErrorPolicy::Quarantine`] saw more faulting records than allowed.
+    TooManyErrors {
+        /// The configured `max_errors` bound.
+        limit: usize,
+        /// Quarantined records observed (may undercount: shards stop early).
+        observed: usize,
+    },
+    /// `ExecMode::Consolidated` was requested on a [`QuerySet`] without a
+    /// consolidated program.
+    MissingConsolidated,
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "record {}: {}", self.record, self.error)
+        match self {
+            EngineError::Record { record, error } => write!(f, "record {record}: {error}"),
+            EngineError::RecordPanic { record, message } => {
+                write!(f, "record {record}: UDF panicked: {message}")
+            }
+            EngineError::WorkerPanicked { shard, message } => {
+                write!(f, "worker for shard {shard} panicked: {message}")
+            }
+            EngineError::TooManyErrors { limit, observed } => write!(
+                f,
+                "quarantine overflow: {observed} faulting records exceed the limit of {limit}"
+            ),
+            EngineError::MissingConsolidated => write!(
+                f,
+                "ExecMode::Consolidated requires QuerySet::with_consolidated"
+            ),
+        }
     }
 }
 
@@ -110,15 +301,21 @@ pub struct JobReport {
     /// Wall-clock time of the UDF evaluation phase.
     pub udf_time: Duration,
     /// Total abstract cost (only when cost tracking was requested).
+    /// Quarantined records contribute nothing, so Many/Consolidated cost
+    /// comparisons stay apples-to-apples on the surviving records.
     pub cost: Option<u64>,
-    /// Records processed.
+    /// Records processed (including quarantined ones).
     pub records: usize,
+    /// What was dropped instead of failing (empty under
+    /// [`ErrorPolicy::FailFast`]).
+    pub quarantine: QuarantineReport,
 }
 
-/// The execution engine: a worker pool configuration.
+/// The execution engine: a worker pool plus failure-handling configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct Engine {
     workers: usize,
+    config: EngineConfig,
 }
 
 impl Default for Engine {
@@ -132,11 +329,34 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Creates an engine with a fixed worker count (min 1).
+    /// Creates an engine with a fixed worker count (min 1) and the default
+    /// fail-fast configuration.
     pub fn new(workers: usize) -> Engine {
         Engine {
             workers: workers.max(1),
+            config: EngineConfig::default(),
         }
+    }
+
+    /// Replaces the execution configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: EngineConfig) -> Engine {
+        self.config = config;
+        self
+    }
+
+    /// Replaces only the error policy.
+    #[must_use]
+    pub fn with_error_policy(mut self, policy: ErrorPolicy) -> Engine {
+        self.config.error_policy = policy;
+        self
+    }
+
+    /// Overrides the per-record VM step budget for all runs.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Engine {
+        self.config.fuel = Some(fuel);
+        self
     }
 
     /// Number of worker threads used per job.
@@ -144,13 +364,22 @@ impl Engine {
         self.workers
     }
 
+    /// The active execution configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
     /// Runs `queries` over `records` in the given mode.
     ///
     /// # Errors
     ///
-    /// Returns the first [`EngineError`] raised by any worker (duplicate
-    /// notification, library failure, fuel exhaustion), or an error when
-    /// `Consolidated` is requested without a consolidated program.
+    /// Under [`ErrorPolicy::FailFast`], returns the first failure raised by
+    /// any worker (duplicate notification, library failure, fuel exhaustion,
+    /// or a panicking UDF environment). Under [`ErrorPolicy::Quarantine`],
+    /// per-record failures are absorbed into the report and only
+    /// [`EngineError::TooManyErrors`] aborts the job. Requesting
+    /// `Consolidated` without a consolidated program is
+    /// [`EngineError::MissingConsolidated`] in either policy.
     pub fn run<E: UdfEnv>(
         &self,
         env: &E,
@@ -160,39 +389,70 @@ impl Engine {
         track_cost: bool,
     ) -> Result<JobReport, EngineError> {
         let n_q = queries.query_ids.len();
-        if mode == ExecMode::Consolidated {
-            assert!(
-                queries.consolidated.is_some(),
-                "ExecMode::Consolidated requires QuerySet::with_consolidated"
-            );
+        if mode == ExecMode::Consolidated && queries.consolidated.is_none() {
+            return Err(EngineError::MissingConsolidated);
         }
+        let config = self.config;
         let shard_len = records.len().div_ceil(self.workers.max(1)).max(1);
         let start = Instant::now();
-        let shard_results: Vec<Result<ShardOut, EngineError>> = std::thread::scope(|scope| {
+        type ShardResult = Result<Result<ShardOut, EngineError>, String>;
+        let shard_results: Vec<(usize, ShardResult)> = std::thread::scope(|scope| {
             let handles: Vec<_> = records
                 .chunks(shard_len)
                 .enumerate()
                 .map(|(k, shard)| {
                     let base = k * shard_len;
-                    scope.spawn(move || run_shard(env, shard, base, queries, mode, track_cost, n_q))
+                    let h = scope.spawn(move || {
+                        run_shard(env, shard, base, queries, mode, track_cost, n_q, &config)
+                    });
+                    (shard.len(), h)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|(len, h)| (len, h.join().map_err(|p| panic_message(p.as_ref()))))
                 .collect()
         });
         let udf_time = start.elapsed();
         let mut counts = vec![0u64; n_q];
         let mut missing = vec![0u64; n_q];
         let mut cost = 0u64;
-        for r in shard_results {
-            let s = r?;
+        let mut quarantine = QuarantineReport::default();
+        for (shard_idx, (len, joined)) in shard_results.into_iter().enumerate() {
+            let s = match joined {
+                Ok(r) => r?,
+                Err(message) => match config.error_policy {
+                    // A worker panic outside per-record catch_unwind means
+                    // the engine itself is poisoned for that shard.
+                    ErrorPolicy::FailFast => {
+                        return Err(EngineError::WorkerPanicked {
+                            shard: shard_idx,
+                            message,
+                        });
+                    }
+                    ErrorPolicy::Quarantine { .. } => {
+                        quarantine.shards_lost += 1;
+                        quarantine.records_lost += len;
+                        continue;
+                    }
+                },
+            };
             for q in 0..n_q {
                 counts[q] += s.counts[q];
                 missing[q] += s.missing[q];
             }
             cost += s.cost;
+            quarantine.entries.extend(s.quarantine);
+        }
+        quarantine.entries.sort_by_key(|e| e.record);
+        quarantine.records_quarantined = quarantine.entries.len();
+        if let ErrorPolicy::Quarantine { max_errors } = config.error_policy {
+            if quarantine.records_quarantined > max_errors {
+                return Err(EngineError::TooManyErrors {
+                    limit: max_errors,
+                    observed: quarantine.records_quarantined,
+                });
+            }
         }
         Ok(JobReport {
             counts,
@@ -200,7 +460,19 @@ impl Engine {
             udf_time,
             cost: track_cost.then_some(cost),
             records: records.len(),
+            quarantine,
         })
+    }
+}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -208,8 +480,63 @@ struct ShardOut {
     counts: Vec<u64>,
     missing: Vec<u64>,
     cost: u64,
+    quarantine: Vec<QuarantineEntry>,
 }
 
+/// How one record's evaluation ended.
+enum RecordFault {
+    Vm(VmError),
+    Panic(String),
+}
+
+/// Evaluates every program the mode requires for one record, isolating
+/// panics. On the first failure the whole record is abandoned: its partial
+/// notifications and cost are discarded by the caller.
+fn eval_record<E: UdfEnv>(
+    vm: &mut Vm,
+    env: &E,
+    rec: &E::Rec,
+    queries: &QuerySet,
+    mode: ExecMode,
+    track_cost: bool,
+    notify: &mut [i8],
+) -> Result<u64, (Option<ProgId>, RecordFault)> {
+    let mut cost = 0u64;
+    match mode {
+        ExecMode::Many => {
+            for (q, c) in queries.many.iter().enumerate() {
+                let query = Some(queries.query_ids[q]);
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    vm.run(c, env, rec, notify, track_cost)
+                }));
+                match r {
+                    Ok(Ok(c)) => cost += c,
+                    Ok(Err(e)) => return Err((query, RecordFault::Vm(e))),
+                    Err(p) => {
+                        return Err((query, RecordFault::Panic(panic_message(p.as_ref()))))
+                    }
+                }
+            }
+        }
+        ExecMode::Consolidated => {
+            let c = queries
+                .consolidated
+                .as_ref()
+                .expect("checked by Engine::run");
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                vm.run(c, env, rec, notify, track_cost)
+            }));
+            match r {
+                Ok(Ok(c)) => cost += c,
+                Ok(Err(e)) => return Err((None, RecordFault::Vm(e))),
+                Err(p) => return Err((None, RecordFault::Panic(panic_message(p.as_ref())))),
+            }
+        }
+    }
+    Ok(cost)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_shard<E: UdfEnv>(
     env: &E,
     shard: &[E::Rec],
@@ -218,50 +545,75 @@ fn run_shard<E: UdfEnv>(
     mode: ExecMode,
     track_cost: bool,
     n_q: usize,
+    config: &EngineConfig,
 ) -> Result<ShardOut, EngineError> {
-    let mut vm = Vm::new();
+    let fuel = config.fuel.unwrap_or(queries.fuel);
+    let mut vm = Vm::new().with_fuel(fuel);
     let mut notify = vec![NOTIFY_NONE; n_q];
     let mut counts = vec![0u64; n_q];
     let mut missing = vec![0u64; n_q];
     let mut cost = 0u64;
+    let mut quarantine: Vec<QuarantineEntry> = Vec::new();
     for (k, rec) in shard.iter().enumerate() {
+        let record = base + k;
         notify.fill(NOTIFY_NONE);
-        match mode {
-            ExecMode::Many => {
-                for c in &queries.many {
-                    cost += vm
-                        .run(c, env, rec, &mut notify, track_cost)
-                        .map_err(|error| EngineError {
-                            record: base + k,
-                            error,
-                        })?;
+        match eval_record(&mut vm, env, rec, queries, mode, track_cost, &mut notify) {
+            Ok(c) => {
+                cost += c;
+                for q in 0..n_q {
+                    match notify[q] {
+                        1 => counts[q] += 1,
+                        0 => {}
+                        _ => missing[q] += 1,
+                    }
                 }
             }
-            ExecMode::Consolidated => {
-                let c = queries
-                    .consolidated
-                    .as_ref()
-                    .expect("checked by Engine::run");
-                cost += vm
-                    .run(c, env, rec, &mut notify, track_cost)
-                    .map_err(|error| EngineError {
-                        record: base + k,
-                        error,
-                    })?;
-            }
-        }
-        for q in 0..n_q {
-            match notify[q] {
-                1 => counts[q] += 1,
-                0 => {}
-                _ => missing[q] += 1,
-            }
+            Err((query, fault)) => match config.error_policy {
+                ErrorPolicy::FailFast => {
+                    return Err(match fault {
+                        RecordFault::Vm(error) => EngineError::Record { record, error },
+                        RecordFault::Panic(message) => {
+                            EngineError::RecordPanic { record, message }
+                        }
+                    });
+                }
+                ErrorPolicy::Quarantine { max_errors } => {
+                    let (kind, detail) = match &fault {
+                        RecordFault::Vm(e) => (ErrorKind::of(e), e.to_string()),
+                        RecordFault::Panic(m) => (ErrorKind::Panic, m.clone()),
+                    };
+                    if matches!(fault, RecordFault::Panic(_)) {
+                        // The VM's internal state is unspecified after an
+                        // unwind through `run`; start from a fresh machine.
+                        vm = Vm::new().with_fuel(fuel);
+                    }
+                    let sample = (quarantine.len() < config.max_payload_samples).then(|| {
+                        let mut args = Vec::new();
+                        env.args(rec, &mut args);
+                        args
+                    });
+                    quarantine.push(QuarantineEntry {
+                        record,
+                        query,
+                        kind,
+                        detail,
+                        sample,
+                    });
+                    if quarantine.len() > max_errors {
+                        // The job is doomed to TooManyErrors; stop burning
+                        // CPU on this shard. (Local count lower-bounds the
+                        // global one.)
+                        break;
+                    }
+                }
+            },
         }
     }
     Ok(ShardOut {
         counts,
         missing,
         cost,
+        quarantine,
     })
 }
 

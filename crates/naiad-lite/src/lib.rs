@@ -21,15 +21,28 @@
 //!   against it);
 //! * [`engine`] — sharded parallel execution across worker threads with the
 //!   `where_many` / `where_consolidated` operators and the timing breakdown
-//!   (UDF time vs total time) the paper's Figures 9 and 10 report.
+//!   (UDF time vs total time) the paper's Figures 9 and 10 report. The
+//!   engine is fail-soft: under [`engine::ErrorPolicy::Quarantine`],
+//!   faulting or panicking records are excluded from every query's output
+//!   and accounted in a [`engine::QuarantineReport`] instead of aborting
+//!   the job;
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`] /
+//!   [`fault::FaultyEnv`]) for exercising the failure model in tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Production code must justify fallibility; tests may unwrap freely.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod compile;
 pub mod engine;
 pub mod env;
+pub mod fault;
 
-pub use compile::{CompileError, Compiled, Vm};
-pub use engine::{Engine, ExecMode, JobReport, QuerySet};
+pub use compile::{CompileError, Compiled, Vm, DEFAULT_FUEL};
+pub use engine::{
+    Engine, EngineConfig, EngineError, ErrorKind, ErrorPolicy, ExecMode, JobReport,
+    QuarantineEntry, QuarantineReport, QuerySet,
+};
 pub use env::{ScalarEnv, UdfEnv};
+pub use fault::{FaultKind, FaultPlan, FaultyEnv};

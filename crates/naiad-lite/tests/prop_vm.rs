@@ -1,3 +1,6 @@
+// Integration tests may unwrap freely; the clippy gate denies it in src/.
+#![allow(clippy::unwrap_used)]
+
 //! Differential property: the bytecode VM agrees with the reference
 //! interpreter on values, notifications, and the *exact* abstract cost, for
 //! random programs including bounded loops.

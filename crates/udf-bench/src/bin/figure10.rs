@@ -52,8 +52,9 @@ fn main() {
     println!("Figure 10 — scalability with the number of UDFs (news domain, BC mix)");
     println!("records: {}, workers: {workers}, seed {seed}", records.len());
     println!(
-        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14}",
-        "nUDFs", "many-udf(s)", "many-total(s)", "cons-udf(s)", "cons-total(s)", "consolid.(s)"
+        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14} {:>10} {:>6}",
+        "nUDFs", "many-udf(s)", "many-total(s)", "cons-udf(s)", "cons-total(s)", "consolid.(s)",
+        "tier", "q'tine"
     );
     for &n in sweep {
         // The paper's scalability benchmark uses mixes of News query
@@ -75,13 +76,15 @@ fn main() {
             scale.passes,
         );
         println!(
-            "{:>6} {:>14.4} {:>14.4} {:>14.4} {:>14.4} {:>14.4}{}",
+            "{:>6} {:>14.4} {:>14.4} {:>14.4} {:>14.4} {:>14.4} {:>10} {:>6}{}",
             n,
             r.many_udf.as_secs_f64(),
             r.many_total.as_secs_f64(),
             r.cons_udf.as_secs_f64(),
             r.cons_total.as_secs_f64(),
             r.consolidation.as_secs_f64(),
+            r.stats.tier.as_str(),
+            r.quarantined,
             if r.outputs_agree { "" } else { "  OUTPUT MISMATCH" },
         );
     }

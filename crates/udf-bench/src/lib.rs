@@ -52,8 +52,12 @@ pub struct FamilyRun {
     pub source_size: usize,
     /// Whether both modes selected identical record counts per query.
     pub outputs_agree: bool,
-    /// Consolidation rule statistics.
-    pub stats: consolidate::RuleStats,
+    /// Consolidation statistics (rule counters, queries, degradation tier).
+    pub stats: consolidate::ConsolidationStats,
+    /// Records quarantined across all passes and both modes (0 for healthy
+    /// datasets; benches run under [`naiad_lite::ErrorPolicy::Quarantine`]
+    /// so a faulting record degrades the row instead of killing the sweep).
+    pub quarantined: usize,
 }
 
 impl FamilyRun {
@@ -122,11 +126,15 @@ pub fn run_family_passes<E: UdfEnv>(
         .expect("merged program compiles");
     let compile_cons = t0.elapsed();
 
-    // Execute (each pass re-evaluates the whole collection).
-    let engine = Engine::new(workers);
+    // Execute (each pass re-evaluates the whole collection). Quarantine
+    // instead of fail-fast: one bad record degrades the row, not the sweep.
+    let engine = Engine::new(workers).with_error_policy(naiad_lite::ErrorPolicy::Quarantine {
+        max_errors: usize::MAX,
+    });
     let mut many_udf = Duration::ZERO;
     let mut cons_udf = Duration::ZERO;
     let mut outputs_agree = true;
+    let mut quarantined = 0usize;
     let mut first = None;
     for _ in 0..passes.max(1) {
         let many = engine
@@ -137,9 +145,13 @@ pub fn run_family_passes<E: UdfEnv>(
             .expect("where_consolidated runs");
         many_udf += many.udf_time;
         cons_udf += cons.udf_time;
+        // Parity must hold on the surviving records, so the two modes must
+        // also have quarantined the same records.
         outputs_agree &= many.counts == cons.counts
             && cons.missing.iter().all(|&m| m == 0)
-            && many.missing.iter().all(|&m| m == 0);
+            && many.missing.iter().all(|&m| m == 0)
+            && many.quarantine.records() == cons.quarantine.records();
+        quarantined += many.quarantine.records_quarantined + cons.quarantine.records_quarantined;
         first.get_or_insert((many, cons));
     }
     let (many, cons) = first.expect("at least one pass");
@@ -160,6 +172,7 @@ pub fn run_family_passes<E: UdfEnv>(
         source_size,
         outputs_agree,
         stats: merged.stats,
+        quarantined,
     }
 }
 
@@ -293,7 +306,7 @@ pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -
 /// Formats a [`FamilyRun`] table row.
 pub fn format_row(r: &FamilyRun) -> String {
     format!(
-        "{:<8} {:<4} {:>4} {:>9} {:>10.2}x {:>10.2}x {:>12.3}s {:>8} {:>8}",
+        "{:<8} {:<4} {:>4} {:>9} {:>10.2}x {:>10.2}x {:>12.3}s {:>8} {:>8} {:>7} {:>6}",
         r.domain,
         r.family,
         r.n_queries,
@@ -303,13 +316,16 @@ pub fn format_row(r: &FamilyRun) -> String {
         r.consolidation.as_secs_f64(),
         if r.outputs_agree { "ok" } else { "MISMATCH" },
         r.merged_size,
+        r.stats.tier.as_str(),
+        r.quarantined,
     )
 }
 
 /// Table header matching [`format_row`].
 pub fn header() -> String {
     format!(
-        "{:<8} {:<4} {:>4} {:>9} {:>11} {:>11} {:>13} {:>8} {:>8}",
-        "domain", "fam", "n", "records", "udf-spdup", "tot-spdup", "consolid.", "agree", "size"
+        "{:<8} {:<4} {:>4} {:>9} {:>11} {:>11} {:>13} {:>8} {:>8} {:>7} {:>6}",
+        "domain", "fam", "n", "records", "udf-spdup", "tot-spdup", "consolid.", "agree", "size",
+        "tier", "q'tine"
     )
 }

@@ -49,6 +49,12 @@ pub struct Solver {
     pub theory_limits: TheoryLimits,
     /// Maximum literal-set size eligible for greedy conflict minimization.
     pub minimize_up_to: usize,
+    /// Deterministic fault-injection hook: 0-based check indices (counted
+    /// by [`SolverStats::checks`]) forced to return [`SatResult::Unknown`]
+    /// without running. `Unknown` is always a sound answer, so injection can
+    /// only suppress rewrites downstream — which is exactly what robustness
+    /// tests use it for. Empty (the default) disables injection.
+    pub force_unknown_checks: std::collections::BTreeSet<u64>,
     stats: SolverStats,
 }
 
@@ -66,8 +72,17 @@ impl Solver {
             max_final_checks: 4_000,
             theory_limits: TheoryLimits::default(),
             minimize_up_to: 24,
+            force_unknown_checks: std::collections::BTreeSet::new(),
             stats: SolverStats::default(),
         }
+    }
+
+    /// Builder form of [`Solver::force_unknown_checks`]: forces `Unknown`
+    /// on the given 0-based check indices.
+    #[must_use]
+    pub fn with_unknown_at<I: IntoIterator<Item = u64>>(mut self, checks: I) -> Solver {
+        self.force_unknown_checks.extend(checks);
+        self
     }
 
     /// Statistics accumulated so far.
@@ -89,6 +104,12 @@ impl Solver {
         f: FormulaId,
     ) -> (SatResult, Option<theory::Model>) {
         self.stats.checks += 1;
+        if self
+            .force_unknown_checks
+            .contains(&(self.stats.checks - 1))
+        {
+            return (SatResult::Unknown, None);
+        }
         match ctx.formula(f) {
             Formula::True => return (SatResult::Sat, Some(theory::Model::new())),
             Formula::False => return (SatResult::Unsat, None),
@@ -337,6 +358,20 @@ mod tests {
         s.theory_limits.lia_budget = 1;
         let r = s.check(&ctx, e);
         assert_ne!(r, SatResult::Sat, "2x+2y=7 has no integer model");
+    }
+
+    #[test]
+    fn injected_unknown_hits_exactly_the_kth_check() {
+        let mut ctx = Context::new();
+        let x = ctx.int_var("x");
+        let zero = ctx.int(0);
+        let a = ctx.le(x, zero);
+        let na = ctx.not(a);
+        let phi = ctx.and(a, na); // unsat
+        let mut s = Solver::new().with_unknown_at([1]);
+        assert_eq!(s.check(&ctx, phi), SatResult::Unsat);
+        assert_eq!(s.check(&ctx, phi), SatResult::Unknown, "check #1 is forced");
+        assert_eq!(s.check(&ctx, phi), SatResult::Unsat);
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! Fail-soft execution matrix: deterministic fault injection across every
+//! failure mode the engine isolates, plus budgeted-consolidation
+//! degradation.
+//!
+//! The invariants under test:
+//!
+//! 1. **Quarantine exactness** — a run quarantines exactly the faulted
+//!    records, and every other record's notifications are untouched.
+//! 2. **Mode parity on survivors** — `where_many` and `where_consolidated`
+//!    quarantine the same records and agree on all surviving counts.
+//! 3. **Graceful degradation** — budget-starved `consolidate_many` returns
+//!    (never hangs, never errors) a compilable, sound program, reporting
+//!    its tier; solver `Unknown`s (injected or budget-induced) only lose
+//!    rewrites, never flip verdicts.
+
+use consolidate::{consolidate_many, ConsolidationBudget, DegradationTier, Options};
+use naiad_lite::engine::{Engine, EngineError, ErrorKind, ErrorPolicy, ExecMode, QuerySet};
+use naiad_lite::fault::{silence_injected_panics, FaultKind, FaultPlan, FaultyEnv};
+use naiad_lite::ScalarEnv;
+use std::time::Duration;
+use udf_lang::ast::Program;
+use udf_lang::cost::CostModel;
+use udf_lang::intern::Interner;
+use udf_lang::library::Library;
+use udf_lang::FnLibrary;
+
+/// A library with one external function `probe(v) = v`, used as the fault
+/// trigger, plus `half(v) = v / 2`.
+fn library(interner: &mut Interner) -> FnLibrary {
+    let probe = interner.intern("probe");
+    let half = interner.intern("half");
+    let mut lib = FnLibrary::new();
+    lib.register(probe, "probe", 1, 20, |a| a[0]);
+    lib.register(half, "half", 1, 10, |a| a[0] / 2);
+    lib
+}
+
+/// `n` threshold queries over `probe(v)`; query `k` selects records with
+/// `probe(v) > 10k`. A `FaultKind::FuelBurn` record makes `probe` return a
+/// huge value, which the `while` loop then counts down — exhausting any
+/// modest fuel budget.
+fn probing_queries(interner: &mut Interner, n: u32) -> Vec<Program> {
+    (0..n)
+        .map(|k| {
+            udf_lang::parse::parse_program(
+                &format!(
+                    "program q{k} @{k} (v) {{
+                         p := probe(v);
+                         spin := half(p);
+                         while (spin > 50) {{ spin := spin - 1; }}
+                         if (p > {}) {{ notify true; }} else {{ notify false; }}
+                     }}",
+                    k * 10
+                ),
+                interner,
+            )
+            .expect("test program parses")
+        })
+        .collect()
+}
+
+struct Harness {
+    env: FaultyEnv<ScalarEnv>,
+    records: Vec<(usize, Vec<i64>)>,
+    queries: QuerySet,
+    n_queries: usize,
+}
+
+/// Builds the standard harness: 200 scalar records `0..200`, `n_queries`
+/// probing queries compiled in both Many and Consolidated form, and the
+/// given fault plan on `probe`.
+fn harness(n_queries: u32, plan: FaultPlan) -> Harness {
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let programs = probing_queries(&mut interner, n_queries);
+    let cm = CostModel::default();
+    let merged = consolidate_many(
+        &programs,
+        &mut interner,
+        &cm,
+        &lib,
+        &Options::default(),
+        false,
+    )
+    .expect("consolidation succeeds");
+    let queries = QuerySet::compile_many(&programs, &cm, &|f| lib.cost(f))
+        .expect("many compiles")
+        .with_consolidated(&merged.program, &cm, &|f| lib.cost(f), merged.elapsed)
+        .expect("merged compiles");
+    let trigger = interner.intern("probe");
+    let env = FaultyEnv::new(ScalarEnv::new(1, lib), trigger, plan).with_burn_value(1_000_000_000);
+    let records = FaultyEnv::<ScalarEnv>::index_records((0..200).map(|v| vec![v]));
+    Harness {
+        env,
+        records,
+        queries,
+        n_queries: n_queries as usize,
+    }
+}
+
+/// Fuel low enough that a burn record exhausts it, high enough that every
+/// healthy record (≤ ~100 spin iterations per query) never comes close.
+const TEST_FUEL: u64 = 50_000;
+
+fn quarantine_engine() -> Engine {
+    Engine::new(4)
+        .with_error_policy(ErrorPolicy::Quarantine { max_errors: 64 })
+        .with_fuel(TEST_FUEL)
+}
+
+#[test]
+fn quarantine_hits_exactly_the_faulted_records_in_both_modes() {
+    silence_injected_panics();
+    let plan = FaultPlan::seeded(0xfa01, 200, 12);
+    let expected = plan.records();
+    let h = harness(4, plan.clone());
+    let baseline = harness(4, FaultPlan::none());
+    let engine = quarantine_engine();
+
+    for mode in [ExecMode::Many, ExecMode::Consolidated] {
+        let run = engine
+            .run(&h.env, &h.records, &h.queries, mode, false)
+            .expect("quarantine policy absorbs record faults");
+        assert_eq!(
+            run.quarantine.records(),
+            expected,
+            "{mode:?} must quarantine exactly the planned records"
+        );
+        assert_eq!(run.records, 200);
+        assert!(run.quarantine.shards_lost == 0);
+
+        // Every quarantined entry carries the right classification.
+        for e in &run.quarantine.entries {
+            let planned = plan.kind(e.record).expect("entry must be planned");
+            let expected_kind = match planned {
+                FaultKind::LibError => ErrorKind::Lib,
+                FaultKind::Panic => ErrorKind::Panic,
+                FaultKind::FuelBurn => ErrorKind::OutOfFuel,
+            };
+            assert_eq!(e.kind, expected_kind, "record {}: {}", e.record, e.detail);
+        }
+
+        // Counts equal a clean run over the surviving records only.
+        let clean = engine
+            .run(&baseline.env, &baseline.records, &baseline.queries, mode, false)
+            .expect("clean run");
+        assert!(clean.quarantine.is_clean());
+        for q in 0..h.n_queries {
+            let faulted_selected = expected
+                .iter()
+                .filter(|&&r| r as i64 > (q as i64) * 10)
+                .count() as u64;
+            assert_eq!(
+                run.counts[q],
+                clean.counts[q] - faulted_selected,
+                "query {q} in {mode:?}: survivors must count exactly"
+            );
+        }
+    }
+}
+
+#[test]
+fn many_and_consolidated_agree_on_survivors() {
+    silence_injected_panics();
+    let h = harness(5, FaultPlan::seeded(0xfa02, 200, 15));
+    let engine = quarantine_engine();
+    let many = engine
+        .run(&h.env, &h.records, &h.queries, ExecMode::Many, true)
+        .expect("many runs");
+    let cons = engine
+        .run(&h.env, &h.records, &h.queries, ExecMode::Consolidated, true)
+        .expect("consolidated runs");
+    assert_eq!(many.quarantine.records(), cons.quarantine.records());
+    assert_eq!(many.counts, cons.counts, "notification parity on survivors");
+    assert_eq!(many.missing, vec![0; h.n_queries]);
+    assert_eq!(cons.missing, vec![0; h.n_queries]);
+    assert!(
+        cons.cost.expect("tracked") <= many.cost.expect("tracked"),
+        "Theorem 1 cost bound must hold on the surviving records"
+    );
+}
+
+#[test]
+fn fail_fast_policy_reports_the_first_fault() {
+    silence_injected_panics();
+    let h = harness(3, FaultPlan::single(17, FaultKind::LibError));
+    let engine = Engine::new(1).with_fuel(TEST_FUEL); // default FailFast
+    let err = engine
+        .run(&h.env, &h.records, &h.queries, ExecMode::Many, false)
+        .expect_err("fail-fast must abort");
+    match err {
+        EngineError::Record { record, .. } => assert_eq!(record, 17),
+        other => panic!("expected Record error, got {other:?}"),
+    }
+
+    let h = harness(3, FaultPlan::single(23, FaultKind::Panic));
+    let err = engine
+        .run(&h.env, &h.records, &h.queries, ExecMode::Many, false)
+        .expect_err("fail-fast must abort on panic");
+    match err {
+        EngineError::RecordPanic { record, message } => {
+            assert_eq!(record, 23);
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        other => panic!("expected RecordPanic, got {other:?}"),
+    }
+}
+
+#[test]
+fn max_errors_bounds_error_floods() {
+    silence_injected_panics();
+    let h = harness(2, FaultPlan::seeded(0xfa03, 200, 40));
+    let engine = Engine::new(4)
+        .with_error_policy(ErrorPolicy::Quarantine { max_errors: 5 })
+        .with_fuel(TEST_FUEL);
+    let err = engine
+        .run(&h.env, &h.records, &h.queries, ExecMode::Many, false)
+        .expect_err("40 faults exceed a limit of 5");
+    match err {
+        EngineError::TooManyErrors { limit, observed } => {
+            assert_eq!(limit, 5);
+            assert!(observed > 5);
+        }
+        other => panic!("expected TooManyErrors, got {other:?}"),
+    }
+}
+
+#[test]
+fn sample_payloads_are_capped_and_correct() {
+    silence_injected_panics();
+    let plan = FaultPlan::seeded(0xfa04, 200, 10);
+    let h = harness(2, plan);
+    let engine = Engine::new(1)
+        .with_config(naiad_lite::EngineConfig {
+            error_policy: ErrorPolicy::Quarantine { max_errors: 64 },
+            fuel: Some(TEST_FUEL),
+            max_payload_samples: 3,
+        });
+    let run = engine
+        .run(&h.env, &h.records, &h.queries, ExecMode::Many, false)
+        .expect("runs");
+    let with_sample: Vec<_> = run
+        .quarantine
+        .entries
+        .iter()
+        .filter(|e| e.sample.is_some())
+        .collect();
+    assert_eq!(with_sample.len(), 3, "payload samples capped at 3");
+    for e in with_sample {
+        assert_eq!(
+            e.sample.as_deref(),
+            Some(&[e.record as i64][..]),
+            "sample must be the record's scalar args"
+        );
+    }
+}
+
+/// One quarantine round-trip per VmError variant plus the panic path,
+/// table-driven.
+#[test]
+fn every_error_kind_round_trips_through_quarantine() {
+    silence_injected_panics();
+    let cases = [
+        (FaultKind::LibError, ErrorKind::Lib),
+        (FaultKind::Panic, ErrorKind::Panic),
+        (FaultKind::FuelBurn, ErrorKind::OutOfFuel),
+    ];
+    for (fault, expected_kind) in cases {
+        let h = harness(2, FaultPlan::single(31, fault));
+        let run = quarantine_engine()
+            .run(&h.env, &h.records, &h.queries, ExecMode::Many, false)
+            .expect("quarantine absorbs the fault");
+        assert_eq!(run.quarantine.records(), vec![31], "{fault:?}");
+        let e = &run.quarantine.entries[0];
+        assert_eq!(e.kind, expected_kind, "{fault:?}: {}", e.detail);
+        assert_eq!(e.query, Some(h.queries.query_ids[0]), "first query faults");
+    }
+
+    // DuplicateNotify needs a malformed program rather than an env fault.
+    let mut interner = Interner::new();
+    let bad = udf_lang::parse::parse_program(
+        "program dup @0 (v) { notify true; notify false; }",
+        &mut interner,
+    )
+    .expect("parses");
+    let cm = CostModel::default();
+    let qs = QuerySet::compile_many(std::slice::from_ref(&bad), &cm, &|_| 10).expect("compiles");
+    let env = ScalarEnv::new(1, FnLibrary::new());
+    let records: Vec<Vec<i64>> = (0..10).map(|v| vec![v]).collect();
+    let run = Engine::new(2)
+        .with_error_policy(ErrorPolicy::Quarantine { max_errors: 64 })
+        .run(&env, &records, &qs, ExecMode::Many, false)
+        .expect("quarantine absorbs duplicate notifications");
+    assert_eq!(run.quarantine.records_quarantined, 10, "every record dups");
+    assert!(run
+        .quarantine
+        .entries
+        .iter()
+        .all(|e| e.kind == ErrorKind::DuplicateNotify));
+    assert_eq!(run.counts, vec![0]);
+}
+
+#[test]
+fn consolidated_mode_without_program_is_an_error_not_a_panic() {
+    let mut interner = Interner::new();
+    let programs = probing_queries(&mut interner, 2);
+    let cm = CostModel::default();
+    let lib = library(&mut interner);
+    let qs = QuerySet::compile_many(&programs, &cm, &|f| lib.cost(f)).expect("compiles");
+    let env = ScalarEnv::new(1, lib);
+    let records: Vec<Vec<i64>> = vec![vec![1]];
+    let err = Engine::new(1)
+        .run(&env, &records, &qs, ExecMode::Consolidated, false)
+        .expect_err("no consolidated program attached");
+    assert_eq!(err, EngineError::MissingConsolidated);
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted consolidation: the degradation lattice.
+// ---------------------------------------------------------------------------
+
+/// Runs the interpreter over both the sources and a merged program,
+/// asserting notification equivalence and the Theorem 1 cost bound — the
+/// soundness oracle for degraded outputs.
+fn assert_merged_sound(
+    programs: &[Program],
+    merged: &Program,
+    interner: &Interner,
+    lib: &FnLibrary,
+) {
+    let cm = CostModel::default();
+    let interp = udf_lang::interp::Interp::new(cm, lib);
+    for v in -5..60 {
+        let m = interp.run(merged, &[v], interner).expect("merged runs");
+        let mut seq_cost = 0;
+        for p in programs {
+            let r = interp.run(p, &[v], interner).expect("source runs");
+            assert_eq!(
+                m.notifications.get(p.id),
+                r.notifications.get(p.id),
+                "record {v}: merged must notify like source {:?}",
+                p.id
+            );
+            seq_cost += r.cost;
+        }
+        assert!(
+            m.cost <= seq_cost,
+            "record {v}: merged cost {} exceeds sequential {}",
+            m.cost,
+            seq_cost
+        );
+    }
+}
+
+#[test]
+fn starved_query_budget_degrades_to_sequential_but_sound() {
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let programs = probing_queries(&mut interner, 6);
+    let cm = CostModel::default();
+    let opts = Options {
+        budget: ConsolidationBudget::default().with_max_solver_queries(0),
+        ..Options::default()
+    };
+    let merged = consolidate_many(&programs, &mut interner, &cm, &lib, &opts, false)
+        .expect("budget exhaustion must not error");
+    assert_eq!(merged.stats.tier, DegradationTier::Sequential);
+    assert_eq!(merged.stats.rules.if3 + merged.stats.rules.if4, 0);
+    assert_merged_sound(&programs, &merged.program, &interner, &lib);
+}
+
+#[test]
+fn partial_budget_consolidates_a_prefix_and_stays_sound() {
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let programs = probing_queries(&mut interner, 6);
+    let cm = CostModel::default();
+    // Generous enough for the first pairs, starved for the rest.
+    let opts = Options {
+        budget: ConsolidationBudget::default().with_max_solver_queries(40),
+        ..Options::default()
+    };
+    let merged = consolidate_many(&programs, &mut interner, &cm, &lib, &opts, false)
+        .expect("budget exhaustion must not error");
+    assert!(
+        merged.stats.tier >= DegradationTier::Partial,
+        "40 queries cannot fully consolidate 6 programs: {:?}",
+        merged.stats
+    );
+    assert_merged_sound(&programs, &merged.program, &interner, &lib);
+
+    // An unlimited run of the same family reports Full.
+    let mut interner2 = Interner::new();
+    let lib2 = library(&mut interner2);
+    let programs2 = probing_queries(&mut interner2, 6);
+    let full = consolidate_many(
+        &programs2,
+        &mut interner2,
+        &cm,
+        &lib2,
+        &Options::default(),
+        false,
+    )
+    .expect("unlimited run");
+    assert_eq!(full.stats.tier, DegradationTier::Full);
+    assert!(full.stats.entailment_queries > 0);
+}
+
+#[test]
+fn zero_deadline_returns_immediately_with_sequential_plan() {
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let programs = probing_queries(&mut interner, 8);
+    let cm = CostModel::default();
+    let opts = Options {
+        budget: ConsolidationBudget::default().with_deadline(Duration::ZERO),
+        ..Options::default()
+    };
+    let start = std::time::Instant::now();
+    let merged = consolidate_many(&programs, &mut interner, &cm, &lib, &opts, true)
+        .expect("deadline exhaustion must not error");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "an expired deadline must not hang"
+    );
+    assert_eq!(merged.stats.tier, DegradationTier::Sequential);
+    assert_eq!(merged.stats.pairs_degraded, 7, "all pairs concatenate");
+    assert_merged_sound(&programs, &merged.program, &interner, &lib);
+
+    // The degraded plan still compiles and runs on the engine.
+    let qs = QuerySet::compile_many(&programs, &cm, &|f| lib.cost(f))
+        .expect("many compiles")
+        .with_consolidated(&merged.program, &cm, &|f| lib.cost(f), merged.elapsed)
+        .expect("degraded plan compiles");
+    let mut i2 = Interner::new();
+    let lib2 = library(&mut i2);
+    let env = ScalarEnv::new(1, lib2);
+    let records: Vec<Vec<i64>> = (0..50).map(|v| vec![v]).collect();
+    let engine = Engine::new(2);
+    let many = engine
+        .run(&env, &records, &qs, ExecMode::Many, true)
+        .expect("many runs");
+    let cons = engine
+        .run(&env, &records, &qs, ExecMode::Consolidated, true)
+        .expect("sequential plan runs");
+    assert_eq!(many.counts, cons.counts);
+    assert!(cons.cost.expect("tracked") <= many.cost.expect("tracked"));
+}
+
+#[test]
+fn budgeted_pair_never_exceeds_query_ceiling_by_much() {
+    // The ceiling is enforced at charge time, so the total charged is
+    // exactly the ceiling; cached entailments answered afterwards are free
+    // and sound.
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let programs = probing_queries(&mut interner, 4);
+    let cm = CostModel::default();
+    for ceiling in [0u64, 5, 25, 100] {
+        let opts = Options {
+            budget: ConsolidationBudget::default().with_max_solver_queries(ceiling),
+            ..Options::default()
+        };
+        let merged = consolidate_many(&programs.clone(), &mut interner, &cm, &lib, &opts, false)
+            .expect("never errors");
+        assert_merged_sound(&programs, &merged.program, &interner, &lib);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solver Unknowns (injected or budget-induced) never flip verdicts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_unknowns_only_lose_rewrites_never_soundness() {
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let cm = CostModel::default();
+    // Force Unknown on a sweep of early check indices; whatever entailments
+    // those checks backed are simply not proved, so the merged program may
+    // share less — but must behave identically.
+    for k in 0..12u64 {
+        let programs = probing_queries(&mut interner, 3);
+        let opts = Options {
+            solver: udf_smt::Solver::new().with_unknown_at([k, k + 1, k + 2]),
+            ..Options::default()
+        };
+        let merged = consolidate_many(&programs, &mut interner, &cm, &lib, &opts, false)
+            .expect("unknown injection must not error");
+        assert_merged_sound(&programs, &merged.program, &interner, &lib);
+    }
+}
+
+#[test]
+fn starved_theory_limits_never_flip_entailment_verdicts() {
+    // The consolidation-layer extension of the solver's
+    // `unknown_on_tiny_budgets_never_unsound` test: with starved theory
+    // budgets every entailment may come back unproved, but the merged
+    // program still satisfies the notification-equivalence oracle.
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let cm = CostModel::default();
+    let mut starved = udf_smt::Solver::new();
+    starved.theory_limits.lia_budget = 1;
+    starved.max_final_checks = 2;
+    let programs = probing_queries(&mut interner, 4);
+    let opts = Options {
+        solver: starved,
+        ..Options::default()
+    };
+    let merged = consolidate_many(&programs, &mut interner, &cm, &lib, &opts, false)
+        .expect("starved solver must not error");
+    assert_merged_sound(&programs, &merged.program, &interner, &lib);
+}

@@ -103,7 +103,7 @@ fn example2_weather_loops_fuse() {
         &Options::default(),
     )
     .unwrap();
-    assert_eq!(merged.stats.loop2, 1, "loops must fuse: {:?}", merged.stats);
+    assert_eq!(merged.stats.rules.loop2, 1, "loops must fuse: {:?}", merged.stats);
     let printed = pretty::program(&merged.program, &interner);
     // One call in the prologue (month 1) and one in the fused body.
     assert_eq!(
@@ -198,7 +198,7 @@ fn example6_offset_loops_fuse() {
         &Options::default(),
     )
     .unwrap();
-    assert_eq!(merged.stats.loop2, 1);
+    assert_eq!(merged.stats.rules.loop2, 1);
     let printed = pretty::program(&merged.program, &interner);
     assert_eq!(
         printed.matches("f(").count(),

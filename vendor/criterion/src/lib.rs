@@ -1,0 +1,155 @@
+//! A dependency-free, offline drop-in for the subset of `criterion` this
+//! workspace's benches use: [`Criterion::bench_function`], benchmark groups
+//! with [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop (warm-up, then enough
+//! iterations to pass a minimum measurement window) reporting mean
+//! time-per-iteration. No statistics, plots, or saved baselines — the goal
+//! is that `cargo bench` runs offline and prints usable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported name; stable `hint` under the hood).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Mean per-iteration time of the measured run.
+    measured: Option<Duration>,
+    sample_size: u64,
+}
+
+impl Bencher {
+    /// Measures `f` and records mean per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until ~50ms or 3 iterations, whichever is later.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Measure: aim for ~200ms total, capped by sample_size-scaled floor.
+        let target = 0.2f64;
+        let iters = ((target / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000)
+            .max(self.sample_size.min(10));
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.measured = Some(start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX));
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+fn report(name: &str, measured: Option<Duration>) {
+    match measured {
+        Some(d) => println!("{name:<50} {:>14.3?}/iter", d),
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            measured: None,
+            sample_size: self.sample_size.max(10),
+        };
+        f(&mut b);
+        report(name, b.measured);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the target sample size (accepted for compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            measured: None,
+            sample_size: self.parent.sample_size.max(10),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), b.measured);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

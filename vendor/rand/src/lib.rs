@@ -1,0 +1,240 @@
+//! A dependency-free, offline drop-in for the subset of `rand` 0.8 this
+//! workspace uses: [`Rng`], [`SeedableRng`], [`rngs::SmallRng`], and
+//! [`distributions::Distribution`].
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! few external APIs it needs. Generators are deterministic (xoshiro256**
+//! seeded via splitmix64, the same construction the real `SmallRng` uses on
+//! 64-bit targets); streams are *not* bit-compatible with upstream `rand`,
+//! which is fine for this repo — datasets only need to be reproducible with
+//! respect to themselves.
+
+#![forbid(unsafe_code)]
+
+/// Low-level generator interface: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing generator methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of a supported primitive type uniformly.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(&mut || self.next_u64())
+    }
+
+    /// Samples uniformly from an integer range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(&mut || self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64_from_u64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn f64_from_u64(x: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the word source.
+    fn sample_standard(words: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard(words: &mut dyn FnMut() -> u64) -> Self {
+                words() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard(words: &mut dyn FnMut() -> u64) -> Self {
+        words() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard(words: &mut dyn FnMut() -> u64) -> Self {
+        f64_from_u64(words())
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(words: &mut dyn FnMut() -> u64) -> Self {
+        (f64_from_u64(words())) as f32
+    }
+}
+
+/// Types uniformly samplable over a range (mirrors `rand`'s blanket-impl
+/// structure so integer-literal type inference flows through arithmetic).
+pub trait SampleUniform: Sized {
+    /// Uniform draw in `[lo, hi)`.
+    fn sample_in(lo: Self, hi_excl: Self, words: &mut dyn FnMut() -> u64) -> Self;
+    /// Uniform draw in `[lo, hi]`.
+    fn sample_in_inclusive(lo: Self, hi: Self, words: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi_excl: Self, words: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi_excl, "gen_range: empty range");
+                let span = (hi_excl as i128) - (lo as i128);
+                let off = (words() as u128 % span as u128) as i128;
+                ((lo as i128) + off) as $t
+            }
+            fn sample_in_inclusive(lo: Self, hi: Self, words: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let off = (words() as u128 % span as u128) as i128;
+                ((lo as i128) + off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in(lo: Self, hi_excl: Self, words: &mut dyn FnMut() -> u64) -> Self {
+        assert!(lo < hi_excl, "gen_range: empty range");
+        lo + f64_from_u64(words()) * (hi_excl - lo)
+    }
+    fn sample_in_inclusive(lo: Self, hi: Self, words: &mut dyn FnMut() -> u64) -> Self {
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        lo + f64_from_u64(words()) * (hi - lo)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value inside the range.
+    fn sample_from(self, words: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, words: &mut dyn FnMut() -> u64) -> T {
+        T::sample_in(self.start, self.end, words)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, words: &mut dyn FnMut() -> u64) -> T {
+        T::sample_in_inclusive(*self.start(), *self.end(), words)
+    }
+}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via splitmix64 — deterministic and fast.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    /// Alias: the stub does not distinguish the std generator.
+    pub type StdRng = SmallRng;
+}
+
+/// Distributions (subset of `rand::distributions`).
+pub mod distributions {
+    use super::Rng;
+
+    /// A type that samples values of `T` from a generator.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_separated() {
+        let a: u64 = SmallRng::seed_from_u64(7).gen();
+        let b: u64 = SmallRng::seed_from_u64(7).gen();
+        let c: u64 = SmallRng::seed_from_u64(8).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-20i64..21);
+            assert!((-20..21).contains(&v));
+            let w = r.gen_range(1u32..=12);
+            assert!((1..=12).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.35)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.35).abs() < 0.02, "observed {frac}");
+    }
+}

@@ -48,6 +48,13 @@ pub struct ConsolidationStats {
     pub rules: RuleStats,
     /// Total entailment queries issued.
     pub entailment_queries: u64,
+    /// Entailments answered from the shared [`crate::memo::EntailmentMemo`]
+    /// (no solver work, no budget charge).
+    pub memo_hits: u64,
+    /// Cumulative SMT solver statistics (summed over all pair contexts).
+    /// On a plan-cache hit these are zero: the stored plan is served without
+    /// any solver work.
+    pub solver: udf_smt::SolverStats,
     /// Pairs processed through the Ω engine.
     pub pairs_consolidated: u64,
     /// Pairs merged by plain concatenation because the budget had already
@@ -124,6 +131,9 @@ fn consolidate_pair_budgeted(
     if let Some(b) = budget {
         cx.set_budget(Arc::clone(b));
     }
+    if let Some(m) = &opts.memo {
+        cx.set_memo(Arc::clone(m));
+    }
     let st = SymState::initial(&mut cx, &p1.params);
     let mut engine = Engine::new(&mut cx, cm, fns, opts, p1.params.iter().copied());
     let body = engine.omega(st, p1.body.clone(), p2.body.clone(), 0);
@@ -141,6 +151,8 @@ fn consolidate_pair_budgeted(
         stats: ConsolidationStats {
             rules,
             entailment_queries: cx.entailment_queries(),
+            memo_hits: cx.memo_hits(),
+            solver: cx.solver_stats(),
             pairs_consolidated: 1,
             pairs_degraded: 0,
             tier,
@@ -218,6 +230,19 @@ pub fn consolidate_many(
     }
     let start = Instant::now();
     let state = Arc::new(BudgetState::new(&opts.budget));
+    // Every pair thread shares one entailment memo: structurally equal
+    // obligations from sibling pairs are proved once. Callers that pass
+    // their own `opts.memo` keep verdicts across runs.
+    let shared_memo;
+    let opts = if opts.memo.is_some() {
+        opts
+    } else {
+        shared_memo = Options {
+            memo: Some(Arc::new(crate::memo::EntailmentMemo::new())),
+            ..opts.clone()
+        };
+        &shared_memo
+    };
     // Rename all locals apart up front (needs &mut Interner); the reduction
     // itself only reads the interner and can run in parallel.
     let mut level: Vec<Program> = programs
@@ -306,6 +331,12 @@ fn add_stats(acc: &mut ConsolidationStats, s: &ConsolidationStats) {
     a.depth_fallbacks += r.depth_fallbacks;
     a.budget_fallbacks += r.budget_fallbacks;
     acc.entailment_queries += s.entailment_queries;
+    acc.memo_hits += s.memo_hits;
+    let (sv, t) = (&mut acc.solver, &s.solver);
+    sv.checks += t.checks;
+    sv.theory_checks += t.theory_checks;
+    sv.theory_conflicts += t.theory_conflicts;
+    sv.minimized_literals += t.minimized_literals;
     acc.pairs_consolidated += s.pairs_consolidated;
     acc.pairs_degraded += s.pairs_degraded;
 }

@@ -58,6 +58,7 @@
 pub mod api;
 pub mod budget;
 pub mod invariants;
+pub mod memo;
 pub mod rules;
 pub mod simplify;
 pub mod symbolic;
@@ -65,5 +66,6 @@ pub mod symbolic;
 pub use api::{consolidate_many, consolidate_pair, consolidate_pair_prerenamed, Consolidated,
               ConsolidateError, ConsolidationStats};
 pub use budget::{BudgetState, ConsolidationBudget, DegradationTier};
+pub use memo::EntailmentMemo;
 pub use rules::{IfPolicy, Options, RuleStats};
 pub use symbolic::EntailmentMode;

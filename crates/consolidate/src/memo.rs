@@ -1,0 +1,147 @@
+//! Cross-thread entailment memoization.
+//!
+//! `consolidate_many` reduces its query set level by level, spawning one
+//! thread per pair; every thread owns an independent [`SymbolicCtx`] and so
+//! an independent per-context entailment cache. Structurally similar pairs
+//! (query families are generated from templates, so similarity is the common
+//! case) fire the *same* obligations `Ψ ⊨ φ` up to variable renaming, and
+//! each thread re-pays the SMT bill.
+//!
+//! [`EntailmentMemo`] is a process-wide verdict table keyed on the canonical
+//! hash of the query ([`udf_smt::canon::entailment_key`]): variables are
+//! De Bruijn-numbered jointly across `(Ψ, φ)`, so SSA fresh counters and
+//! per-run renaming prefixes vanish. The table is sharded under `RwLock`s
+//! and shared via `Arc` across pair threads *and across consolidation runs*
+//! — this is what makes a warm second run solver-free.
+//!
+//! A memo hit does **not** charge the [`crate::ConsolidationBudget`] solver
+//! query counter: budgets bound *solver work*, and a hit performs none.
+//!
+//! [`SymbolicCtx`]: crate::symbolic::SymbolicCtx
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+const SHARDS: usize = 16;
+
+/// A sharded, thread-safe memo table mapping canonical entailment-query
+/// hashes to verdicts. Cheap to share (`Arc`), cheap to hit (one shard read
+/// lock).
+pub struct EntailmentMemo {
+    shards: Vec<RwLock<HashMap<u128, bool>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EntailmentMemo {
+    fn default() -> EntailmentMemo {
+        EntailmentMemo::new()
+    }
+}
+
+impl std::fmt::Debug for EntailmentMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EntailmentMemo")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl EntailmentMemo {
+    /// Creates an empty memo table.
+    pub fn new() -> EntailmentMemo {
+        EntailmentMemo {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &RwLock<HashMap<u128, bool>> {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    /// Looks up a verdict. Counts a hit or a miss.
+    pub fn lookup(&self, key: u128) -> Option<bool> {
+        let got = self
+            .shard(key)
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .copied();
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Records a verdict.
+    pub fn store(&self, key: u128, verdict: bool) {
+        self.shard(key)
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, verdict);
+    }
+
+    /// Number of memoized verdicts.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookup hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookup misses since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_store_roundtrip() {
+        let memo = EntailmentMemo::new();
+        assert_eq!(memo.lookup(42), None);
+        memo.store(42, true);
+        memo.store(7, false);
+        assert_eq!(memo.lookup(42), Some(true));
+        assert_eq!(memo.lookup(7), Some(false));
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(memo.misses(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let memo = std::sync::Arc::new(EntailmentMemo::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u128 {
+                let memo = std::sync::Arc::clone(&memo);
+                scope.spawn(move || {
+                    for k in 0..64 {
+                        memo.store(t * 1000 + k, k % 2 == 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 256);
+        assert_eq!(memo.lookup(1001), Some(false));
+    }
+}

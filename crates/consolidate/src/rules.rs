@@ -81,6 +81,13 @@ pub struct Options {
     /// The SMT solver configuration used for entailment checks (resource
     /// limits, fault-injection hooks). Cloned into each pair consolidation.
     pub solver: udf_smt::Solver,
+    /// Shared entailment memo table. `consolidate_many` installs one
+    /// automatically when absent; callers that keep a handle across runs
+    /// (e.g. the plan cache) make later runs reuse earlier verdicts. Do not
+    /// share one table across differing solver configurations: a "not
+    /// proved" verdict recorded under tight resource limits would mask what
+    /// a larger budget could prove (sound, but needlessly conservative).
+    pub memo: Option<std::sync::Arc<crate::memo::EntailmentMemo>>,
 }
 
 impl Default for Options {
@@ -96,6 +103,7 @@ impl Default for Options {
             max_pair_queries: 900,
             budget: crate::budget::ConsolidationBudget::UNLIMITED,
             solver: udf_smt::Solver::new(),
+            memo: None,
         }
     }
 }

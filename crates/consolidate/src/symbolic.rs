@@ -54,6 +54,8 @@ pub struct SymbolicCtx<'i> {
     entailment_queries: u64,
     entailment_cache_hits: u64,
     budget: Option<std::sync::Arc<crate::budget::BudgetState>>,
+    memo: Option<std::sync::Arc<crate::memo::EntailmentMemo>>,
+    memo_hits: u64,
 }
 
 impl<'i> std::fmt::Debug for SymbolicCtx<'i> {
@@ -82,6 +84,8 @@ impl<'i> SymbolicCtx<'i> {
             entailment_queries: 0,
             entailment_cache_hits: 0,
             budget: None,
+            memo: None,
+            memo_hits: 0,
         }
     }
 
@@ -94,6 +98,24 @@ impl<'i> SymbolicCtx<'i> {
     /// it, and an exhausted budget makes all queries answer "not proved".
     pub fn set_budget(&mut self, budget: std::sync::Arc<crate::budget::BudgetState>) {
         self.budget = Some(budget);
+    }
+
+    /// Attaches a shared entailment memo table. Verdicts proved by *any*
+    /// context sharing the table (other pair threads, earlier runs) are
+    /// reused without touching the solver or charging the budget.
+    pub fn set_memo(&mut self, memo: std::sync::Arc<crate::memo::EntailmentMemo>) {
+        self.memo = Some(memo);
+    }
+
+    /// Number of entailments answered from the shared memo table.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Cumulative statistics of the underlying SMT solver (checks performed,
+    /// theory work) for this context.
+    pub fn solver_stats(&self) -> udf_smt::SolverStats {
+        self.solver.stats()
     }
 
     /// Whether the attached budget (if any) has run out.
@@ -208,11 +230,29 @@ impl<'i> SymbolicCtx<'i> {
                     self.entailment_cache_hits += 1;
                     return v;
                 }
+                // Shared memo (cross-thread, cross-run): keyed on the
+                // canonical alpha-renamed form, so structurally equal
+                // queries from other pair threads hit here. Hits perform no
+                // solver work and therefore do not charge the budget.
+                let key = self
+                    .memo
+                    .as_ref()
+                    .map(|_| udf_smt::canon::entailment_key(&self.smt, psi, phi));
+                if let (Some(memo), Some(key)) = (&self.memo, key) {
+                    if let Some(v) = memo.lookup(key) {
+                        self.memo_hits += 1;
+                        self.valid_cache.insert((psi, phi), v);
+                        return v;
+                    }
+                }
                 if !self.charge_budget() {
                     return false;
                 }
                 let v = self.solver.is_valid(&mut self.smt, psi, phi);
                 self.valid_cache.insert((psi, phi), v);
+                if let (Some(memo), Some(key)) = (&self.memo, key) {
+                    memo.store(key, v);
+                }
                 v
             }
         }

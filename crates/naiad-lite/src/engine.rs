@@ -111,6 +111,70 @@ impl QuerySet {
         self.consolidation_time = consolidation_time;
         Ok(self)
     }
+
+    /// Compiles the per-query UDFs *and* a consolidated program obtained
+    /// through `cache`: a stored plan is served when the tier-upgrade rule
+    /// allows (skipping the Ω engine and the SMT solver entirely),
+    /// otherwise the set is consolidated fresh and the cache is filled.
+    ///
+    /// Returns the query set, the consolidation result (cache hits carry
+    /// zeroed solver statistics) and how the cache satisfied the request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and consolidation failures as
+    /// [`QuerySetError`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn compile_consolidated_cached(
+        programs: &[udf_lang::ast::Program],
+        interner: &mut udf_lang::intern::Interner,
+        cm: &CostModel,
+        fns: &(dyn udf_lang::cost::FnCost + Sync),
+        fn_cost: &dyn Fn(Symbol) -> Cost,
+        opts: &consolidate::Options,
+        parallel: bool,
+        cache: &plan_cache::PlanCache,
+    ) -> Result<(QuerySet, consolidate::Consolidated, plan_cache::PlanOutcome), QuerySetError>
+    {
+        let (merged, outcome) = plan_cache::consolidate_many_cached(
+            cache, programs, interner, cm, fns, opts, parallel,
+        )?;
+        let qs = QuerySet::compile_many(programs, cm, fn_cost)?
+            .with_consolidated(&merged.program, cm, fn_cost, merged.elapsed)?;
+        Ok((qs, merged, outcome))
+    }
+}
+
+/// Failure while building a cached consolidated query set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuerySetError {
+    /// A UDF (per-query or merged) failed to compile.
+    Compile(crate::compile::CompileError),
+    /// The consolidation itself failed (incompatible programs, empty set).
+    Consolidate(consolidate::ConsolidateError),
+}
+
+impl fmt::Display for QuerySetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuerySetError::Compile(e) => write!(f, "compile: {e}"),
+            QuerySetError::Consolidate(e) => write!(f, "consolidate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QuerySetError {}
+
+impl From<crate::compile::CompileError> for QuerySetError {
+    fn from(e: crate::compile::CompileError) -> QuerySetError {
+        QuerySetError::Compile(e)
+    }
+}
+
+impl From<consolidate::ConsolidateError> for QuerySetError {
+    fn from(e: consolidate::ConsolidateError) -> QuerySetError {
+        QuerySetError::Consolidate(e)
+    }
 }
 
 /// How the engine reacts to per-record execution failures.
@@ -129,7 +193,7 @@ pub enum ErrorPolicy {
 }
 
 /// Engine-wide execution configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Per-record failure handling.
     pub error_policy: ErrorPolicy,
@@ -139,6 +203,10 @@ pub struct EngineConfig {
     /// arguments (the sample payload); later entries record only the index,
     /// query and error kind, keeping report size bounded.
     pub max_payload_samples: usize,
+    /// Shared consolidated-plan cache. When present,
+    /// [`QuerySet::compile_consolidated_cached`] consults it before invoking
+    /// the Ω engine, and [`JobReport::plan_cache`] snapshots its counters.
+    pub plan_cache: Option<std::sync::Arc<plan_cache::PlanCache>>,
 }
 
 impl Default for EngineConfig {
@@ -147,6 +215,7 @@ impl Default for EngineConfig {
             error_policy: ErrorPolicy::FailFast,
             fuel: None,
             max_payload_samples: 8,
+            plan_cache: None,
         }
     }
 }
@@ -309,10 +378,13 @@ pub struct JobReport {
     /// What was dropped instead of failing (empty under
     /// [`ErrorPolicy::FailFast`]).
     pub quarantine: QuarantineReport,
+    /// Counters of the engine's [`plan_cache::PlanCache`] at job end (`None`
+    /// when the engine has no cache attached).
+    pub plan_cache: Option<plan_cache::CacheStats>,
 }
 
 /// The execution engine: a worker pool plus failure-handling configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     workers: usize,
     config: EngineConfig,
@@ -392,7 +464,7 @@ impl Engine {
         if mode == ExecMode::Consolidated && queries.consolidated.is_none() {
             return Err(EngineError::MissingConsolidated);
         }
-        let config = self.config;
+        let config = &self.config;
         let shard_len = records.len().div_ceil(self.workers.max(1)).max(1);
         let start = Instant::now();
         type ShardResult = Result<Result<ShardOut, EngineError>, String>;
@@ -403,7 +475,7 @@ impl Engine {
                 .map(|(k, shard)| {
                     let base = k * shard_len;
                     let h = scope.spawn(move || {
-                        run_shard(env, shard, base, queries, mode, track_cost, n_q, &config)
+                        run_shard(env, shard, base, queries, mode, track_cost, n_q, config)
                     });
                     (shard.len(), h)
                 })
@@ -461,6 +533,7 @@ impl Engine {
             cost: track_cost.then_some(cost),
             records: records.len(),
             quarantine,
+            plan_cache: self.config.plan_cache.as_ref().map(|c| c.stats()),
         })
     }
 }

@@ -42,7 +42,7 @@ pub mod fault;
 pub use compile::{CompileError, Compiled, Vm, DEFAULT_FUEL};
 pub use engine::{
     Engine, EngineConfig, EngineError, ErrorKind, ErrorPolicy, ExecMode, JobReport,
-    QuarantineEntry, QuarantineReport, QuerySet,
+    QuarantineEntry, QuarantineReport, QuerySet, QuerySetError,
 };
 pub use env::{ScalarEnv, UdfEnv};
 pub use fault::{FaultKind, FaultPlan, FaultyEnv};

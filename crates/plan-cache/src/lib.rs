@@ -1,0 +1,654 @@
+//! A concurrent cache of consolidated query plans.
+//!
+//! Consolidation (the Ω engine of PLDI'14 Figure 8) is pure static analysis:
+//! the same ordered UDF set under the same options always produces the same
+//! merged program. The paper's deployment amortizes that cost by
+//! consolidating once and streaming millions of records; this crate extends
+//! the amortization *across runs and processes*:
+//!
+//! * [`PlanKey`] — a stable 128-bit key: the canonical (alpha-renamed)
+//!   structural hash of the ordered program set ([`udf_lang::canon`]) folded
+//!   with a fingerprint of the plan-relevant options and cost model.
+//! * [`PlanCache`] — a sharded LRU (`RwLock` per shard, capacity + byte
+//!   budget, hit/miss/insert/eviction counters) storing
+//!   [`PortableProgram`]s — interner-independent, so one cache serves many
+//!   engines — together with their [`ConsolidationStats`] and
+//!   [`DegradationTier`].
+//! * [`PlanCache::save`] / [`PlanCache::load`] — a hand-rolled textual
+//!   snapshot for warm starts across processes.
+//! * [`consolidate_many_cached`] — the drop-in consolidation entry point:
+//!   serve a cached plan when one is usable, otherwise consolidate and fill
+//!   the cache.
+//!
+//! # Tier-upgrade rule
+//!
+//! A budgeted run can degrade ([`DegradationTier::Partial`] /
+//! [`DegradationTier::Sequential`]); caching must never *freeze* that
+//! degradation. A hit is served as-is only when the stored plan is `Full`
+//! or the current budget is already exhausted; otherwise the set is
+//! re-consolidated and the stored plan is replaced only if the fresh tier is
+//! at least as good. Callers therefore never observe a cached plan worse
+//! than what a fresh run under their budget would produce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod portable;
+mod snapshot;
+
+use consolidate::{
+    BudgetState, Consolidated, ConsolidateError, ConsolidationStats, DegradationTier, Options,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use udf_lang::ast::Program;
+use udf_lang::canon::Fnv128;
+use udf_lang::cost::{CostModel, FnCost};
+use udf_lang::intern::Interner;
+
+pub use portable::PortableProgram;
+
+/// Stable cache key: canonical program-set hash × plan-relevant options.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PlanKey(pub u128);
+
+impl std::fmt::Display for PlanKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl PlanKey {
+    /// Derives the key for consolidating `programs` (in order) under `opts`
+    /// and `cm`.
+    ///
+    /// The fingerprint covers everything that shapes the *output plan*:
+    /// program structure (alpha-renamed), entailment mode, rule policies and
+    /// structural limits, solver resource limits (they decide which
+    /// entailments prove), and the cost model. It deliberately excludes the
+    /// [`consolidate::ConsolidationBudget`]: budgets bound *work*, not the
+    /// target plan, and the tier-upgrade rule handles budget-degraded
+    /// entries. The external `FnCost` oracle cannot be fingerprinted;
+    /// callers using per-function costs beyond [`CostModel`] should keep
+    /// separate caches per cost assignment.
+    pub fn derive(
+        programs: &[Program],
+        interner: &Interner,
+        opts: &Options,
+        cm: &CostModel,
+    ) -> PlanKey {
+        let mut h = Fnv128::new();
+        h.u128(udf_lang::canon::set_key(programs, interner));
+        h.byte(match opts.mode {
+            consolidate::EntailmentMode::Smt => 1,
+            consolidate::EntailmentMode::Syntactic => 2,
+        });
+        h.byte(match opts.if_policy {
+            consolidate::IfPolicy::Heuristic => 1,
+            consolidate::IfPolicy::AlwaysIf3 => 2,
+            consolidate::IfPolicy::AlwaysIf4 => 3,
+            consolidate::IfPolicy::AlwaysIf5 => 4,
+        });
+        h.byte(u8::from(opts.loop_fusion));
+        h.u64(opts.if3_size_limit as u64);
+        h.u64(opts.max_depth as u64);
+        h.u64(opts.max_pair_queries);
+        h.u64(opts.simplify.max_candidate_checks as u64);
+        h.u64(opts.simplify.trivial_cost);
+        h.u64(opts.inv.max_candidates as u64);
+        h.u64(opts.inv.max_rounds as u64);
+        h.u64(opts.solver.max_conflicts);
+        h.u64(opts.solver.max_final_checks);
+        h.u64(opts.solver.theory_limits.lia_budget);
+        h.u64(opts.solver.theory_limits.max_probe_pairs as u64);
+        h.u64(opts.solver.theory_limits.max_rounds as u64);
+        h.u64(opts.solver.minimize_up_to as u64);
+        for cost in [
+            cm.int_const, cm.var, cm.bool_const, cm.not, cm.connective,
+            cm.cmp, cm.arith, cm.assign, cm.branch, cm.notify,
+        ] {
+            h.u64(cost);
+        }
+        PlanKey(h.finish())
+    }
+}
+
+/// One cached consolidated plan.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// The merged program, interner-independent.
+    pub program: PortableProgram,
+    /// Statistics of the run that produced it.
+    pub stats: ConsolidationStats,
+    /// Degradation tier of the stored plan (drives the upgrade rule).
+    pub tier: DegradationTier,
+    /// Approximate footprint, charged against the byte budget.
+    pub bytes: usize,
+}
+
+impl CachedPlan {
+    /// Packages a consolidation result for caching.
+    pub fn new(program: PortableProgram, stats: ConsolidationStats) -> CachedPlan {
+        let bytes = program.approx_bytes() + std::mem::size_of::<CachedPlan>();
+        CachedPlan {
+            program,
+            tier: stats.tier,
+            stats,
+            bytes,
+        }
+    }
+}
+
+/// Cache shape parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Maximum number of entries (across all shards).
+    pub capacity: usize,
+    /// Maximum total approximate bytes (across all shards).
+    pub max_bytes: usize,
+    /// Number of lock shards (rounded up to at least 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            capacity: 1024,
+            max_bytes: 64 << 20,
+            shards: 16,
+        }
+    }
+}
+
+/// Point-in-time counters of a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a usable entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted by the capacity or byte budget.
+    pub evictions: u64,
+    /// Current entry count.
+    pub entries: usize,
+    /// Current approximate byte footprint.
+    pub bytes: usize,
+}
+
+struct Entry {
+    plan: Arc<CachedPlan>,
+    /// Global tick of the last touch; loaded/stored relaxed (gets take only
+    /// the shard read lock).
+    last_used: AtomicU64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u128, Entry>,
+    bytes: usize,
+}
+
+/// Sharded, thread-safe LRU plan cache.
+pub struct PlanCache {
+    shards: Vec<RwLock<Shard>>,
+    per_shard_cap: usize,
+    per_shard_bytes: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new(CacheConfig::default())
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache").field("stats", &self.stats()).finish()
+    }
+}
+
+impl PlanCache {
+    /// Creates an empty cache. Capacity and byte budgets are divided evenly
+    /// across shards (each shard gets at least one slot).
+    pub fn new(config: CacheConfig) -> PlanCache {
+        let n = config.shards.max(1);
+        PlanCache {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            per_shard_cap: (config.capacity / n).max(1),
+            per_shard_bytes: (config.max_bytes / n).max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: PlanKey) -> &RwLock<Shard> {
+        &self.shards[(key.0 as usize) % self.shards.len()]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up a plan, refreshing its LRU position. Counts a hit or miss.
+    pub fn get(&self, key: PlanKey) -> Option<Arc<CachedPlan>> {
+        let shard = self.shard(key).read().unwrap_or_else(|e| e.into_inner());
+        match shard.map.get(&key.0) {
+            Some(e) => {
+                e.last_used.store(self.next_tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a plan, evicting least-recently-used entries
+    /// while the shard is over its capacity or byte budget.
+    pub fn insert(&self, key: PlanKey, plan: CachedPlan) {
+        let tick = self.next_tick();
+        let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
+        let bytes = plan.bytes;
+        if let Some(old) = shard.map.insert(
+            key.0,
+            Entry {
+                plan: Arc::new(plan),
+                last_used: AtomicU64::new(tick),
+            },
+        ) {
+            shard.bytes -= old.plan.bytes;
+        }
+        shard.bytes += bytes;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        while shard.map.len() > self.per_shard_cap
+            || (shard.bytes > self.per_shard_bytes && shard.map.len() > 1)
+        {
+            // O(n) min scan: shards are small (capacity / shard count) and
+            // eviction is rare next to gets, so this beats maintaining an
+            // ordered structure under the write lock.
+            let victim = shard
+                .map
+                .iter()
+                .filter(|(&k, _)| k != key.0 || shard.map.len() == 1)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(&k, _)| k);
+            match victim {
+                Some(k) => {
+                    if let Some(e) = shard.map.remove(&k) {
+                        shard.bytes -= e.plan.bytes;
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut bytes) = (0, 0);
+        for s in &self.shards {
+            let s = s.read().unwrap_or_else(|e| e.into_inner());
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.stats().entries
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All entries, keyed (used by snapshots and tests).
+    pub fn entries(&self) -> Vec<(PlanKey, Arc<CachedPlan>)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let s = s.read().unwrap_or_else(|e| e.into_inner());
+            for (&k, e) in &s.map {
+                out.push((PlanKey(k), Arc::clone(&e.plan)));
+            }
+        }
+        out.sort_by_key(|(k, _)| k.0);
+        out
+    }
+
+    /// Writes a textual snapshot of every entry to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        snapshot::save(self, path.as_ref())
+    }
+
+    /// Loads a snapshot written by [`PlanCache::save`] into a fresh cache
+    /// with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed snapshots and propagates I/O
+    /// errors.
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+        config: CacheConfig,
+    ) -> std::io::Result<PlanCache> {
+        snapshot::load(path.as_ref(), config)
+    }
+}
+
+/// How [`consolidate_many_cached`] satisfied a request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanOutcome {
+    /// Served from the cache; no solver work performed.
+    Hit,
+    /// Consolidated fresh and inserted.
+    Miss,
+    /// A degraded entry was found and re-consolidation was attempted under
+    /// the current (unexhausted) budget; the better of the two plans was
+    /// served and stored.
+    Upgrade,
+}
+
+impl PlanOutcome {
+    /// Short lowercase label for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PlanOutcome::Hit => "hit",
+            PlanOutcome::Miss => "miss",
+            PlanOutcome::Upgrade => "upgrade",
+        }
+    }
+}
+
+/// Consolidates `programs` through `cache`: serves a stored plan when the
+/// tier-upgrade rule allows it, otherwise runs
+/// [`consolidate::consolidate_many`] and stores the result.
+///
+/// On a [`PlanOutcome::Hit`] the returned [`ConsolidationStats`] carry the
+/// *stored* rule/query counters (they describe the plan) but zeroed
+/// [`udf_smt::SolverStats`]: a hit performs no solver work, which is what
+/// lets callers assert "the second run made zero SMT checks".
+///
+/// # Errors
+///
+/// Propagates [`ConsolidateError`] from the underlying consolidation.
+pub fn consolidate_many_cached(
+    cache: &PlanCache,
+    programs: &[Program],
+    interner: &mut Interner,
+    cm: &CostModel,
+    fns: &(dyn FnCost + Sync),
+    opts: &Options,
+    parallel: bool,
+) -> Result<(Consolidated, PlanOutcome), ConsolidateError> {
+    if programs.is_empty() {
+        return Err(ConsolidateError::Empty);
+    }
+    let start = Instant::now();
+    let key = PlanKey::derive(programs, interner, opts, cm);
+    let cached = cache.get(key);
+    if let Some(plan) = &cached {
+        let budget_spent = BudgetState::new(&opts.budget).exhausted();
+        if plan.tier == DegradationTier::Full || budget_spent {
+            let mut stats = plan.stats;
+            stats.solver = udf_smt::SolverStats::default();
+            return Ok((
+                Consolidated {
+                    program: plan.program.to_program(interner),
+                    stats,
+                    elapsed: start.elapsed(),
+                },
+                PlanOutcome::Hit,
+            ));
+        }
+    }
+    // Miss, or a degraded entry under a live budget: consolidate fresh.
+    let fresh = consolidate::consolidate_many(programs, interner, cm, fns, opts, parallel)?;
+    match cached {
+        // Upgrade attempt: keep whichever plan sits higher on the tier
+        // lattice (`Full < Partial < Sequential` in the derived order), so
+        // a cached Partial is never displaced by a fresh Sequential.
+        Some(old) if fresh.stats.tier > old.tier => {
+            let mut stats = old.stats;
+            stats.solver = fresh.stats.solver;
+            stats.memo_hits += fresh.stats.memo_hits;
+            Ok((
+                Consolidated {
+                    program: old.program.to_program(interner),
+                    stats,
+                    elapsed: start.elapsed(),
+                },
+                PlanOutcome::Upgrade,
+            ))
+        }
+        Some(_) => {
+            let portable = PortableProgram::from_program(&fresh.program, interner);
+            cache.insert(key, CachedPlan::new(portable, fresh.stats));
+            Ok((fresh, PlanOutcome::Upgrade))
+        }
+        None => {
+            let portable = PortableProgram::from_program(&fresh.program, interner);
+            cache.insert(key, CachedPlan::new(portable, fresh.stats));
+            Ok((fresh, PlanOutcome::Miss))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udf_lang::cost::UniformFnCost;
+    use udf_lang::parse::parse_programs;
+    use udf_lang::pretty;
+
+    fn family(i: &mut Interner) -> Vec<Program> {
+        parse_programs(
+            "program f1 @1 (airline, price) {
+                 name := toLower(airline);
+                 if (name == 7) { notify true; } else { notify false; }
+             }
+             program f2 @2 (airline, price) {
+                 if (price >= 200) { notify false; }
+                 else { if (toLower(airline) == 7) { notify true; } else { notify false; } }
+             }",
+            i,
+        )
+        .expect("test programs parse")
+    }
+
+    #[test]
+    fn second_run_is_a_hit_with_zero_solver_checks() {
+        let mut i = Interner::new();
+        let programs = family(&mut i);
+        let cm = CostModel::default();
+        let fns = UniformFnCost(50);
+        let opts = Options::default();
+        let cache = PlanCache::default();
+
+        let (cold, o1) =
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &opts, false)
+                .expect("cold run succeeds");
+        assert_eq!(o1, PlanOutcome::Miss);
+        assert!(cold.stats.solver.checks > 0, "cold run must hit the solver");
+
+        let (warm, o2) =
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &opts, false)
+                .expect("warm run succeeds");
+        assert_eq!(o2, PlanOutcome::Hit);
+        assert_eq!(warm.stats.solver.checks, 0, "a hit must skip the solver");
+        assert_eq!(
+            pretty::program(&cold.program, &i),
+            pretty::program(&warm.program, &i),
+            "hit must reproduce the consolidated program exactly"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.inserts), (1, 1));
+    }
+
+    #[test]
+    fn alpha_renamed_sets_share_a_plan() {
+        let mut i = Interner::new();
+        let a = parse_programs(
+            "program f @1 (x) { y := inc(x); notify true; }
+             program g @2 (x) { z := inc(x); notify false; }",
+            &mut i,
+        )
+        .expect("test programs parse");
+        let b = parse_programs(
+            "program f @1 (x) { q := inc(x); notify true; }
+             program g @2 (x) { r := inc(x); notify false; }",
+            &mut i,
+        )
+        .expect("test programs parse");
+        let cm = CostModel::default();
+        let opts = Options::default();
+        assert_eq!(
+            PlanKey::derive(&a, &i, &opts, &cm),
+            PlanKey::derive(&b, &i, &opts, &cm)
+        );
+    }
+
+    #[test]
+    fn options_partition_the_key_space() {
+        let mut i = Interner::new();
+        let programs = family(&mut i);
+        let cm = CostModel::default();
+        let smt = Options::default();
+        let syn = Options {
+            mode: consolidate::EntailmentMode::Syntactic,
+            ..Options::default()
+        };
+        assert_ne!(
+            PlanKey::derive(&programs, &i, &smt, &cm),
+            PlanKey::derive(&programs, &i, &syn, &cm)
+        );
+    }
+
+    #[test]
+    fn degraded_entries_upgrade_under_fresh_budget() {
+        let mut i = Interner::new();
+        let programs = family(&mut i);
+        let cm = CostModel::default();
+        let fns = UniformFnCost(50);
+        let cache = PlanCache::default();
+        // Exhaust immediately: query ceiling 0 degrades to Sequential.
+        let starved = Options {
+            budget: consolidate::ConsolidationBudget::default().with_max_solver_queries(0),
+            ..Options::default()
+        };
+        let (degraded, o1) =
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &starved, false)
+                .expect("starved run succeeds");
+        assert_eq!(o1, PlanOutcome::Miss);
+        assert!(degraded.stats.tier > DegradationTier::Full);
+
+        // Same options, same key: a second starved run may reuse the entry…
+        let state = BudgetState::new(&starved.budget);
+        assert!(
+            !state.exhausted(),
+            "query ceilings are charged, not pre-exhausted; upgrade path must run"
+        );
+        // …but since the budget is not *pre*-exhausted, the rule demands a
+        // re-consolidation attempt, which under the same ceiling cannot be
+        // worse, and under an unlimited one reaches Full.
+        let unlimited = Options::default();
+        let key_starved = PlanKey::derive(&programs, &i, &starved, &cm);
+        let key_unlimited = PlanKey::derive(&programs, &i, &unlimited, &cm);
+        assert_eq!(
+            key_starved, key_unlimited,
+            "budget must not partition the key space"
+        );
+        let (upgraded, o2) =
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &unlimited, false)
+                .expect("upgrade run succeeds");
+        assert_eq!(o2, PlanOutcome::Upgrade);
+        assert_eq!(upgraded.stats.tier, DegradationTier::Full);
+
+        // The upgraded plan is now served on hits.
+        let (served, o3) =
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &unlimited, false)
+                .expect("warm run succeeds");
+        assert_eq!(o3, PlanOutcome::Hit);
+        assert_eq!(served.stats.tier, DegradationTier::Full);
+    }
+
+    #[test]
+    fn lru_evicts_by_capacity() {
+        let cache = PlanCache::new(CacheConfig {
+            capacity: 2,
+            max_bytes: usize::MAX,
+            shards: 1,
+        });
+        let plan = |id: u32| {
+            CachedPlan::new(
+                PortableProgram {
+                    id,
+                    params: vec!["x".to_owned()],
+                    body: portable::PStmt::Skip,
+                },
+                ConsolidationStats::default(),
+            )
+        };
+        cache.insert(PlanKey(1), plan(1));
+        cache.insert(PlanKey(2), plan(2));
+        assert!(cache.get(PlanKey(1)).is_some(), "touch 1 so 2 is the LRU");
+        cache.insert(PlanKey(3), plan(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(PlanKey(2)).is_none(), "2 was least recently used");
+        assert!(cache.get(PlanKey(1)).is_some());
+        assert!(cache.get(PlanKey(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts() {
+        let cache = PlanCache::new(CacheConfig {
+            capacity: 1024,
+            max_bytes: 1,
+            shards: 1,
+        });
+        let plan = |id: u32| {
+            CachedPlan::new(
+                PortableProgram {
+                    id,
+                    params: vec![],
+                    body: portable::PStmt::Skip,
+                },
+                ConsolidationStats::default(),
+            )
+        };
+        cache.insert(PlanKey(1), plan(1));
+        cache.insert(PlanKey(2), plan(2));
+        // Over budget with >1 entry: evict down to a single entry.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.stats().evictions >= 1);
+    }
+}

@@ -1,0 +1,583 @@
+//! Interner-independent program representation.
+//!
+//! A consolidated [`Program`] is built over [`Symbol`]s — indices into the
+//! interner of the process (and run) that produced it. Consolidation also
+//! manufactures local names like `u0$x%3` (via `rename_locals` and
+//! `Interner::fresh`) that the concrete syntax cannot express, so neither
+//! raw symbols nor pretty-printed text survive a process boundary. A
+//! [`PortableProgram`] stores names as owned strings and converts back
+//! against any interner, which is what lets cached plans be shared across
+//! engines and snapshotted to disk.
+//!
+//! The wire form is a single-line S-expression; tokens are runs of
+//! characters other than whitespace and parentheses, so `$`/`%`/`@` in
+//! generated names need no escaping.
+
+use std::fmt::Write as _;
+use udf_lang::ast::{BoolExpr, BoolOp, CmpOp, IntExpr, IntOp, ProgId, Program, Stmt};
+use udf_lang::intern::Interner;
+
+/// An integer expression over string names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PInt {
+    /// Integer constant.
+    Const(i64),
+    /// Variable reference by name.
+    Var(String),
+    /// Library-function call by name.
+    Call(String, Vec<PInt>),
+    /// Binary arithmetic.
+    Bin(IntOp, Box<PInt>, Box<PInt>),
+}
+
+/// A boolean expression over string names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PBool {
+    /// Boolean constant.
+    Const(bool),
+    /// Integer comparison.
+    Cmp(CmpOp, PInt, PInt),
+    /// Negation.
+    Not(Box<PBool>),
+    /// Connective.
+    Bin(BoolOp, Box<PBool>, Box<PBool>),
+}
+
+/// A statement over string names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PStmt {
+    /// No-op.
+    Skip,
+    /// Assignment.
+    Assign(String, PInt),
+    /// Sequencing.
+    Seq(Box<PStmt>, Box<PStmt>),
+    /// Conditional.
+    If(PBool, Box<PStmt>, Box<PStmt>),
+    /// Loop.
+    While(PBool, Box<PStmt>),
+    /// Notification broadcast.
+    Notify(u32, bool),
+}
+
+/// A [`Program`] with every [`Symbol`] resolved to its name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortableProgram {
+    /// Program id.
+    pub id: u32,
+    /// Parameter names in declaration order.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: PStmt,
+}
+
+fn p_int(e: &IntExpr, i: &Interner) -> PInt {
+    match e {
+        IntExpr::Const(c) => PInt::Const(*c),
+        IntExpr::Var(v) => PInt::Var(i.resolve(*v).to_owned()),
+        IntExpr::Call(f, args) => PInt::Call(
+            i.resolve(*f).to_owned(),
+            args.iter().map(|a| p_int(a, i)).collect(),
+        ),
+        IntExpr::Bin(op, a, b) => PInt::Bin(*op, Box::new(p_int(a, i)), Box::new(p_int(b, i))),
+    }
+}
+
+fn p_bool(e: &BoolExpr, i: &Interner) -> PBool {
+    match e {
+        BoolExpr::Const(b) => PBool::Const(*b),
+        BoolExpr::Cmp(op, a, b) => PBool::Cmp(*op, p_int(a, i), p_int(b, i)),
+        BoolExpr::Not(a) => PBool::Not(Box::new(p_bool(a, i))),
+        BoolExpr::Bin(op, a, b) => PBool::Bin(*op, Box::new(p_bool(a, i)), Box::new(p_bool(b, i))),
+    }
+}
+
+fn p_stmt(s: &Stmt, i: &Interner) -> PStmt {
+    match s {
+        Stmt::Skip => PStmt::Skip,
+        Stmt::Assign(x, e) => PStmt::Assign(i.resolve(*x).to_owned(), p_int(e, i)),
+        Stmt::Seq(a, b) => PStmt::Seq(Box::new(p_stmt(a, i)), Box::new(p_stmt(b, i))),
+        Stmt::If(c, a, b) => PStmt::If(p_bool(c, i), Box::new(p_stmt(a, i)), Box::new(p_stmt(b, i))),
+        Stmt::While(c, b) => PStmt::While(p_bool(c, i), Box::new(p_stmt(b, i))),
+        Stmt::Notify(id, b) => PStmt::Notify(id.0, *b),
+    }
+}
+
+fn r_int(e: &PInt, i: &mut Interner) -> IntExpr {
+    match e {
+        PInt::Const(c) => IntExpr::Const(*c),
+        PInt::Var(v) => IntExpr::Var(i.intern(v)),
+        PInt::Call(f, args) => {
+            IntExpr::Call(i.intern(f), args.iter().map(|a| r_int(a, i)).collect())
+        }
+        PInt::Bin(op, a, b) => IntExpr::Bin(*op, Box::new(r_int(a, i)), Box::new(r_int(b, i))),
+    }
+}
+
+fn r_bool(e: &PBool, i: &mut Interner) -> BoolExpr {
+    match e {
+        PBool::Const(b) => BoolExpr::Const(*b),
+        PBool::Cmp(op, a, b) => BoolExpr::Cmp(*op, r_int(a, i), r_int(b, i)),
+        PBool::Not(a) => BoolExpr::Not(Box::new(r_bool(a, i))),
+        PBool::Bin(op, a, b) => BoolExpr::Bin(*op, Box::new(r_bool(a, i)), Box::new(r_bool(b, i))),
+    }
+}
+
+fn r_stmt(s: &PStmt, i: &mut Interner) -> Stmt {
+    match s {
+        PStmt::Skip => Stmt::Skip,
+        PStmt::Assign(x, e) => Stmt::Assign(i.intern(x), r_int(e, i)),
+        PStmt::Seq(a, b) => Stmt::Seq(Box::new(r_stmt(a, i)), Box::new(r_stmt(b, i))),
+        PStmt::If(c, a, b) => Stmt::If(r_bool(c, i), Box::new(r_stmt(a, i)), Box::new(r_stmt(b, i))),
+        PStmt::While(c, b) => Stmt::While(r_bool(c, i), Box::new(r_stmt(b, i))),
+        PStmt::Notify(id, b) => Stmt::Notify(ProgId(*id), *b),
+    }
+}
+
+impl PortableProgram {
+    /// Resolves every symbol of `p` against `interner`.
+    pub fn from_program(p: &Program, interner: &Interner) -> PortableProgram {
+        PortableProgram {
+            id: p.id.0,
+            params: p.params.iter().map(|&s| interner.resolve(s).to_owned()).collect(),
+            body: p_stmt(&p.body, interner),
+        }
+    }
+
+    /// Re-interns every name into `interner`, rebuilding the AST.
+    pub fn to_program(&self, interner: &mut Interner) -> Program {
+        Program::new(
+            ProgId(self.id),
+            self.params.iter().map(|p| interner.intern(p)).collect(),
+            r_stmt(&self.body, interner),
+        )
+    }
+
+    /// Approximate heap footprint in bytes (for the cache byte budget).
+    pub fn approx_bytes(&self) -> usize {
+        fn int_bytes(e: &PInt) -> usize {
+            16 + match e {
+                PInt::Const(_) => 0,
+                PInt::Var(v) => v.len(),
+                PInt::Call(f, args) => f.len() + args.iter().map(int_bytes).sum::<usize>(),
+                PInt::Bin(_, a, b) => int_bytes(a) + int_bytes(b),
+            }
+        }
+        fn bool_bytes(e: &PBool) -> usize {
+            16 + match e {
+                PBool::Const(_) => 0,
+                PBool::Cmp(_, a, b) => int_bytes(a) + int_bytes(b),
+                PBool::Not(a) => bool_bytes(a),
+                PBool::Bin(_, a, b) => bool_bytes(a) + bool_bytes(b),
+            }
+        }
+        fn stmt_bytes(s: &PStmt) -> usize {
+            16 + match s {
+                PStmt::Skip | PStmt::Notify(..) => 0,
+                PStmt::Assign(x, e) => x.len() + int_bytes(e),
+                PStmt::Seq(a, b) => stmt_bytes(a) + stmt_bytes(b),
+                PStmt::If(c, a, b) => bool_bytes(c) + stmt_bytes(a) + stmt_bytes(b),
+                PStmt::While(c, b) => bool_bytes(c) + stmt_bytes(b),
+            }
+        }
+        32 + self.params.iter().map(|p| p.len() + 8).sum::<usize>() + stmt_bytes(&self.body)
+    }
+
+    /// Renders the single-line S-expression wire form.
+    pub fn to_sexpr(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "(program {} (params", self.id);
+        for p in &self.params {
+            let _ = write!(out, " {p}");
+        }
+        out.push(')');
+        out.push(' ');
+        w_stmt(&self.body, &mut out);
+        out.push(')');
+        out
+    }
+
+    /// Parses the wire form produced by [`PortableProgram::to_sexpr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error.
+    pub fn parse_sexpr(src: &str) -> Result<PortableProgram, String> {
+        let mut toks = tokenize(src);
+        let p = parse_program(&mut toks)?;
+        match toks.next() {
+            None => Ok(p),
+            Some(t) => Err(format!("trailing input: {t:?}")),
+        }
+    }
+}
+
+fn w_int(e: &PInt, out: &mut String) {
+    match e {
+        PInt::Const(c) => {
+            let _ = write!(out, "(int {c})");
+        }
+        PInt::Var(v) => {
+            let _ = write!(out, "(var {v})");
+        }
+        PInt::Call(f, args) => {
+            let _ = write!(out, "(call {f}");
+            for a in args {
+                out.push(' ');
+                w_int(a, out);
+            }
+            out.push(')');
+        }
+        PInt::Bin(op, a, b) => {
+            let tag = match op {
+                IntOp::Add => "add",
+                IntOp::Sub => "sub",
+                IntOp::Mul => "mul",
+            };
+            let _ = write!(out, "({tag} ");
+            w_int(a, out);
+            out.push(' ');
+            w_int(b, out);
+            out.push(')');
+        }
+    }
+}
+
+fn w_bool(e: &PBool, out: &mut String) {
+    match e {
+        PBool::Const(b) => {
+            let _ = write!(out, "({b})");
+        }
+        PBool::Cmp(op, a, b) => {
+            let tag = match op {
+                CmpOp::Lt => "lt",
+                CmpOp::Le => "le",
+                CmpOp::Eq => "eq",
+            };
+            let _ = write!(out, "({tag} ");
+            w_int(a, out);
+            out.push(' ');
+            w_int(b, out);
+            out.push(')');
+        }
+        PBool::Not(a) => {
+            out.push_str("(not ");
+            w_bool(a, out);
+            out.push(')');
+        }
+        PBool::Bin(op, a, b) => {
+            let tag = match op {
+                BoolOp::And => "and",
+                BoolOp::Or => "or",
+            };
+            let _ = write!(out, "({tag} ");
+            w_bool(a, out);
+            out.push(' ');
+            w_bool(b, out);
+            out.push(')');
+        }
+    }
+}
+
+fn w_stmt(s: &PStmt, out: &mut String) {
+    match s {
+        PStmt::Skip => out.push_str("(skip)"),
+        PStmt::Assign(x, e) => {
+            let _ = write!(out, "(assign {x} ");
+            w_int(e, out);
+            out.push(')');
+        }
+        PStmt::Seq(a, b) => {
+            out.push_str("(seq ");
+            w_stmt(a, out);
+            out.push(' ');
+            w_stmt(b, out);
+            out.push(')');
+        }
+        PStmt::If(c, a, b) => {
+            out.push_str("(if ");
+            w_bool(c, out);
+            out.push(' ');
+            w_stmt(a, out);
+            out.push(' ');
+            w_stmt(b, out);
+            out.push(')');
+        }
+        PStmt::While(c, b) => {
+            out.push_str("(while ");
+            w_bool(c, out);
+            out.push(' ');
+            w_stmt(b, out);
+            out.push(')');
+        }
+        PStmt::Notify(id, b) => {
+            let _ = write!(out, "(notify {id} {b})");
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Tok {
+    Open,
+    Close,
+    Atom(String),
+}
+
+fn tokenize(src: &str) -> std::vec::IntoIter<Tok> {
+    let mut toks = Vec::new();
+    let mut atom = String::new();
+    for ch in src.chars() {
+        if ch == '(' || ch == ')' || ch.is_whitespace() {
+            if !atom.is_empty() {
+                toks.push(Tok::Atom(std::mem::take(&mut atom)));
+            }
+            match ch {
+                '(' => toks.push(Tok::Open),
+                ')' => toks.push(Tok::Close),
+                _ => {}
+            }
+        } else {
+            atom.push(ch);
+        }
+    }
+    if !atom.is_empty() {
+        toks.push(Tok::Atom(atom));
+    }
+    toks.into_iter()
+}
+
+type Toks = std::vec::IntoIter<Tok>;
+
+fn expect_open(toks: &mut Toks) -> Result<(), String> {
+    match toks.next() {
+        Some(Tok::Open) => Ok(()),
+        other => Err(format!("expected `(`, found {other:?}")),
+    }
+}
+
+fn expect_close(toks: &mut Toks) -> Result<(), String> {
+    match toks.next() {
+        Some(Tok::Close) => Ok(()),
+        other => Err(format!("expected `)`, found {other:?}")),
+    }
+}
+
+fn atom(toks: &mut Toks) -> Result<String, String> {
+    match toks.next() {
+        Some(Tok::Atom(a)) => Ok(a),
+        other => Err(format!("expected atom, found {other:?}")),
+    }
+}
+
+fn head(toks: &mut Toks) -> Result<String, String> {
+    expect_open(toks)?;
+    atom(toks)
+}
+
+fn num<T: std::str::FromStr>(toks: &mut Toks) -> Result<T, String> {
+    let a = atom(toks)?;
+    a.parse().map_err(|_| format!("bad number {a:?}"))
+}
+
+fn parse_int(toks: &mut Toks) -> Result<PInt, String> {
+    let h = head(toks)?;
+    let e = match h.as_str() {
+        "int" => PInt::Const(num(toks)?),
+        "var" => PInt::Var(atom(toks)?),
+        "call" => {
+            let f = atom(toks)?;
+            let mut args = Vec::new();
+            // Arguments run until the closing paren.
+            loop {
+                match toks.as_slice().first() {
+                    Some(Tok::Close) => break,
+                    _ => args.push(parse_int(toks)?),
+                }
+            }
+            return finish(toks, PInt::Call(f, args));
+        }
+        "add" | "sub" | "mul" => {
+            let op = match h.as_str() {
+                "add" => IntOp::Add,
+                "sub" => IntOp::Sub,
+                _ => IntOp::Mul,
+            };
+            let a = parse_int(toks)?;
+            let b = parse_int(toks)?;
+            PInt::Bin(op, Box::new(a), Box::new(b))
+        }
+        other => return Err(format!("unknown int form {other:?}")),
+    };
+    finish(toks, e)
+}
+
+fn finish<T>(toks: &mut Toks, v: T) -> Result<T, String> {
+    expect_close(toks)?;
+    Ok(v)
+}
+
+fn parse_bool(toks: &mut Toks) -> Result<PBool, String> {
+    let h = head(toks)?;
+    let e = match h.as_str() {
+        "true" => PBool::Const(true),
+        "false" => PBool::Const(false),
+        "lt" | "le" | "eq" => {
+            let op = match h.as_str() {
+                "lt" => CmpOp::Lt,
+                "le" => CmpOp::Le,
+                _ => CmpOp::Eq,
+            };
+            let a = parse_int(toks)?;
+            let b = parse_int(toks)?;
+            PBool::Cmp(op, a, b)
+        }
+        "not" => PBool::Not(Box::new(parse_bool(toks)?)),
+        "and" | "or" => {
+            let op = if h == "and" { BoolOp::And } else { BoolOp::Or };
+            let a = parse_bool(toks)?;
+            let b = parse_bool(toks)?;
+            PBool::Bin(op, Box::new(a), Box::new(b))
+        }
+        other => return Err(format!("unknown bool form {other:?}")),
+    };
+    finish(toks, e)
+}
+
+fn parse_stmt(toks: &mut Toks) -> Result<PStmt, String> {
+    let h = head(toks)?;
+    let s = match h.as_str() {
+        "skip" => PStmt::Skip,
+        "assign" => {
+            let x = atom(toks)?;
+            let e = parse_int(toks)?;
+            PStmt::Assign(x, e)
+        }
+        "seq" => {
+            let a = parse_stmt(toks)?;
+            let b = parse_stmt(toks)?;
+            PStmt::Seq(Box::new(a), Box::new(b))
+        }
+        "if" => {
+            let c = parse_bool(toks)?;
+            let a = parse_stmt(toks)?;
+            let b = parse_stmt(toks)?;
+            PStmt::If(c, Box::new(a), Box::new(b))
+        }
+        "while" => {
+            let c = parse_bool(toks)?;
+            let b = parse_stmt(toks)?;
+            PStmt::While(c, Box::new(b))
+        }
+        "notify" => {
+            let id = num(toks)?;
+            let b = match atom(toks)?.as_str() {
+                "true" => true,
+                "false" => false,
+                other => return Err(format!("bad notify flag {other:?}")),
+            };
+            PStmt::Notify(id, b)
+        }
+        other => return Err(format!("unknown stmt form {other:?}")),
+    };
+    finish(toks, s)
+}
+
+fn parse_program(toks: &mut Toks) -> Result<PortableProgram, String> {
+    let h = head(toks)?;
+    if h != "program" {
+        return Err(format!("expected `program`, found {h:?}"));
+    }
+    let id = num(toks)?;
+    let ph = head(toks)?;
+    if ph != "params" {
+        return Err(format!("expected `params`, found {ph:?}"));
+    }
+    let mut params = Vec::new();
+    loop {
+        match toks.next() {
+            Some(Tok::Atom(a)) => params.push(a),
+            Some(Tok::Close) => break,
+            other => return Err(format!("expected parameter name or `)`, found {other:?}")),
+        }
+    }
+    let body = parse_stmt(toks)?;
+    finish(toks, PortableProgram { id, params, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udf_lang::parse::parse_program as parse_src;
+    use udf_lang::pretty;
+
+    #[test]
+    fn program_roundtrip_through_portable() {
+        let mut i = Interner::new();
+        let p = parse_src(
+            "program f @3 (price, city) {
+                 x := lookup(city) + 1;
+                 if (x < 10 && price < 200) { notify true; } else { notify @4 false; }
+                 while (x > 0) { x := x - 1; }
+             }",
+            &mut i,
+        )
+        .expect("test source parses");
+        let portable = PortableProgram::from_program(&p, &i);
+        let back = portable.to_program(&mut i);
+        assert_eq!(pretty::program(&p, &i), pretty::program(&back, &i));
+    }
+
+    #[test]
+    fn sexpr_roundtrip_preserves_generated_names() {
+        let body = PStmt::Seq(
+            Box::new(PStmt::Assign(
+                "u0$x%3".to_owned(),
+                PInt::Bin(
+                    IntOp::Add,
+                    Box::new(PInt::Call("toLower".to_owned(), vec![PInt::Var("a".to_owned())])),
+                    Box::new(PInt::Const(-7)),
+                ),
+            )),
+            Box::new(PStmt::If(
+                PBool::Bin(
+                    BoolOp::Or,
+                    Box::new(PBool::Cmp(
+                        CmpOp::Le,
+                        PInt::Var("u0$x%3".to_owned()),
+                        PInt::Const(0),
+                    )),
+                    Box::new(PBool::Not(Box::new(PBool::Const(false)))),
+                ),
+                Box::new(PStmt::Notify(5, true)),
+                Box::new(PStmt::Skip),
+            )),
+        );
+        let p = PortableProgram {
+            id: 9,
+            params: vec!["a".to_owned(), "b".to_owned()],
+            body,
+        };
+        let wire = p.to_sexpr();
+        assert!(!wire.contains('\n'));
+        let q = PortableProgram::parse_sexpr(&wire).expect("wire form parses");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rehydration_into_fresh_interner_prints_identically() {
+        let mut i1 = Interner::new();
+        let p = parse_src("program f @1 (x) { y := x * 3; notify true; }", &mut i1)
+            .expect("test source parses");
+        let portable = PortableProgram::from_program(&p, &i1);
+        let mut i2 = Interner::new();
+        let q = portable.to_program(&mut i2);
+        assert_eq!(pretty::program(&p, &i1), pretty::program(&q, &i2));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PortableProgram::parse_sexpr("(program 1 (params) (skip)").is_err());
+        assert!(PortableProgram::parse_sexpr("(program 1 (params) (frob))").is_err());
+        assert!(PortableProgram::parse_sexpr("(program 1 (params) (skip)))").is_err());
+    }
+}

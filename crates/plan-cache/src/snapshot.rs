@@ -1,0 +1,270 @@
+//! Textual cache snapshots for warm starts across processes.
+//!
+//! The format is line-oriented and hand-rolled (the build is offline; no
+//! serde). Keys are canonical hashes — stable across processes by
+//! construction — and programs are the single-line S-expressions of
+//! [`crate::portable`], so a snapshot written by one run primes the next.
+//!
+//! ```text
+//! plan-cache-snapshot v1
+//! entry 00f3…9a                  # 32 hex digits: the PlanKey
+//! tier full                      # full | partial | sequential
+//! stat entailment_queries 131    # `stat <name> <u64>`; unknown names are
+//! stat rules.if3 2               # skipped on load (forward compatibility)
+//! program (program 1 (params a) (skip))
+//! end
+//! ```
+//!
+//! Loading is strict about shape (missing `tier`/`program` lines, bad hex,
+//! or a malformed S-expression fail with `InvalidData`) but lenient about
+//! stat names, so adding counters never invalidates old snapshots.
+
+use crate::{CacheConfig, CachedPlan, PlanCache, PlanKey, PortableProgram};
+use consolidate::{ConsolidationStats, DegradationTier};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+const HEADER: &str = "plan-cache-snapshot v1";
+
+fn stat_fields(s: &ConsolidationStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("entailment_queries", s.entailment_queries),
+        ("memo_hits", s.memo_hits),
+        ("pairs_consolidated", s.pairs_consolidated),
+        ("pairs_degraded", s.pairs_degraded),
+        ("rules.if_eliminated", s.rules.if_eliminated),
+        ("rules.if3", s.rules.if3),
+        ("rules.if4", s.rules.if4),
+        ("rules.if5", s.rules.if5),
+        ("rules.loop2", s.rules.loop2),
+        ("rules.loop3", s.rules.loop3),
+        ("rules.loop_seq", s.rules.loop_seq),
+        ("rules.depth_fallbacks", s.rules.depth_fallbacks),
+        ("rules.budget_fallbacks", s.rules.budget_fallbacks),
+        ("solver.checks", s.solver.checks),
+        ("solver.theory_checks", s.solver.theory_checks),
+        ("solver.theory_conflicts", s.solver.theory_conflicts),
+        ("solver.minimized_literals", s.solver.minimized_literals),
+    ]
+}
+
+fn set_stat(s: &mut ConsolidationStats, name: &str, v: u64) {
+    match name {
+        "entailment_queries" => s.entailment_queries = v,
+        "memo_hits" => s.memo_hits = v,
+        "pairs_consolidated" => s.pairs_consolidated = v,
+        "pairs_degraded" => s.pairs_degraded = v,
+        "rules.if_eliminated" => s.rules.if_eliminated = v,
+        "rules.if3" => s.rules.if3 = v,
+        "rules.if4" => s.rules.if4 = v,
+        "rules.if5" => s.rules.if5 = v,
+        "rules.loop2" => s.rules.loop2 = v,
+        "rules.loop3" => s.rules.loop3 = v,
+        "rules.loop_seq" => s.rules.loop_seq = v,
+        "rules.depth_fallbacks" => s.rules.depth_fallbacks = v,
+        "rules.budget_fallbacks" => s.rules.budget_fallbacks = v,
+        "solver.checks" => s.solver.checks = v,
+        "solver.theory_checks" => s.solver.theory_checks = v,
+        "solver.theory_conflicts" => s.solver.theory_conflicts = v,
+        "solver.minimized_literals" => s.solver.minimized_literals = v,
+        // Unknown stat names come from newer writers; skip them.
+        _ => {}
+    }
+}
+
+pub(crate) fn save(cache: &PlanCache, path: &Path) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for (key, plan) in cache.entries() {
+        out.push_str(&format!("entry {key}\n"));
+        out.push_str(&format!("tier {}\n", plan.tier.as_str()));
+        for (name, v) in stat_fields(&plan.stats) {
+            out.push_str(&format!("stat {name} {v}\n"));
+        }
+        out.push_str(&format!("program {}\n", plan.program.to_sexpr()));
+        out.push_str("end\n");
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn parse_tier(s: &str) -> io::Result<DegradationTier> {
+    match s {
+        "full" => Ok(DegradationTier::Full),
+        "partial" => Ok(DegradationTier::Partial),
+        "sequential" => Ok(DegradationTier::Sequential),
+        other => Err(bad(format!("unknown tier {other:?}"))),
+    }
+}
+
+pub(crate) fn load(path: &Path, config: CacheConfig) -> io::Result<PlanCache> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return Err(bad("missing snapshot header"));
+    }
+    let cache = PlanCache::new(config);
+    let mut pending: Option<(PlanKey, Option<DegradationTier>, ConsolidationStats, Option<PortableProgram>)> =
+        None;
+    for (n, line) in lines.enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (word, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let at = |msg: &str| bad(format!("line {}: {msg}", n + 2));
+        match word {
+            "entry" => {
+                if pending.is_some() {
+                    return Err(at("entry begins before previous `end`"));
+                }
+                let raw = u128::from_str_radix(rest, 16).map_err(|_| at("bad key hex"))?;
+                pending = Some((PlanKey(raw), None, ConsolidationStats::default(), None));
+            }
+            "tier" => {
+                let p = pending.as_mut().ok_or_else(|| at("tier outside entry"))?;
+                p.1 = Some(parse_tier(rest)?);
+            }
+            "stat" => {
+                let p = pending.as_mut().ok_or_else(|| at("stat outside entry"))?;
+                let (name, val) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| at("stat needs a name and a value"))?;
+                let v: u64 = val.parse().map_err(|_| at("bad stat value"))?;
+                set_stat(&mut p.2, name, v);
+            }
+            "program" => {
+                let p = pending.as_mut().ok_or_else(|| at("program outside entry"))?;
+                let prog = PortableProgram::parse_sexpr(rest)
+                    .map_err(|e| at(&format!("bad program: {e}")))?;
+                p.3 = Some(prog);
+            }
+            "end" => {
+                let (key, tier, mut stats, program) =
+                    pending.take().ok_or_else(|| at("end outside entry"))?;
+                let tier = tier.ok_or_else(|| at("entry missing tier"))?;
+                let program = program.ok_or_else(|| at("entry missing program"))?;
+                stats.tier = tier;
+                cache.insert(key, CachedPlan::new(program, stats));
+            }
+            other => return Err(at(&format!("unknown directive {other:?}"))),
+        }
+    }
+    if pending.is_some() {
+        return Err(bad("snapshot truncated inside an entry"));
+    }
+    Ok(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portable::{PInt, PStmt};
+
+    fn sample_cache() -> PlanCache {
+        let cache = PlanCache::default();
+        let mut stats = ConsolidationStats {
+            entailment_queries: 41,
+            memo_hits: 3,
+            pairs_consolidated: 2,
+            ..ConsolidationStats::default()
+        };
+        stats.rules.if3 = 1;
+        stats.solver.checks = 17;
+        stats.tier = DegradationTier::Partial;
+        let plan = CachedPlan::new(
+            PortableProgram {
+                id: 4,
+                params: vec!["price".to_owned()],
+                body: PStmt::Seq(
+                    Box::new(PStmt::Assign(
+                        "u0$x%2".to_owned(),
+                        PInt::Bin(
+                            udf_lang::ast::IntOp::Mul,
+                            Box::new(PInt::Var("price".to_owned())),
+                            Box::new(PInt::Const(3)),
+                        ),
+                    )),
+                    Box::new(PStmt::Notify(4, true)),
+                ),
+            },
+            stats,
+        );
+        cache.insert(PlanKey(0xdead_beef_0000_0001), plan);
+        cache
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("plan-cache-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        let cache = sample_cache();
+        cache.save(&path).unwrap();
+        let loaded = PlanCache::load(&path, CacheConfig::default()).unwrap();
+        let a = cache.entries();
+        let b = loaded.entries();
+        assert_eq!(a.len(), b.len());
+        for ((ka, pa), (kb, pb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert_eq!(pa.program, pb.program);
+            assert_eq!(pa.stats, pb.stats);
+            assert_eq!(pa.tier, pb.tier);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_malformed_snapshots() {
+        let dir = std::env::temp_dir().join("plan-cache-test-malformed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cases = [
+            ("bad-header", "nope\n"),
+            ("bad-key", "plan-cache-snapshot v1\nentry zz\nend\n"),
+            (
+                "missing-tier",
+                "plan-cache-snapshot v1\nentry 00\nprogram (program 1 (params) (skip))\nend\n",
+            ),
+            ("truncated", "plan-cache-snapshot v1\nentry 00\ntier full\n"),
+        ];
+        for (name, text) in cases {
+            let path = dir.join(name);
+            std::fs::write(&path, text).unwrap();
+            assert!(
+                PlanCache::load(&path, CacheConfig::default()).is_err(),
+                "case {name} must be rejected"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn unknown_stats_are_skipped() {
+        let dir = std::env::temp_dir().join("plan-cache-test-forward");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        std::fs::write(
+            &path,
+            "plan-cache-snapshot v1\n\
+             entry 2a\n\
+             tier full\n\
+             stat rules.if3 5\n\
+             stat some.future.counter 9\n\
+             program (program 1 (params a) (skip))\n\
+             end\n",
+        )
+        .unwrap();
+        let loaded = PlanCache::load(&path, CacheConfig::default()).unwrap();
+        let entries = loaded.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, PlanKey(0x2a));
+        assert_eq!(entries[0].1.stats.rules.if3, 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

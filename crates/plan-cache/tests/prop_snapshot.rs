@@ -1,0 +1,161 @@
+//! Property: snapshots round-trip. `save` followed by `load` reproduces
+//! every entry — key, tier, statistics, and program — bit-for-bit, for
+//! arbitrary portable programs (including the `$`/`%` names consolidation
+//! manufactures, which the concrete syntax cannot express).
+
+use plan_cache::portable::{PBool, PInt, PStmt};
+use plan_cache::{CacheConfig, CachedPlan, PlanCache, PlanKey, PortableProgram};
+use consolidate::{ConsolidationStats, DegradationTier};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use udf_lang::ast::{BoolOp, CmpOp, IntOp};
+
+/// Names exercise the full token alphabet: anything but whitespace and
+/// parentheses, in particular the reserved `$`/`%` of fresh local names.
+fn name() -> impl Strategy<Value = String> {
+    const CHARS: &[u8] = b"abcxyz0189$%@_.";
+    prop::collection::vec(0usize..CHARS.len(), 0..8).prop_map(|ix| {
+        let mut s = String::from("n");
+        for i in ix {
+            s.push(CHARS[i] as char);
+        }
+        s
+    })
+}
+
+/// The vendored proptest has no `Arbitrary` for `u128`; glue two `u64`s.
+fn key() -> impl Strategy<Value = u128> {
+    (any::<u64>(), any::<u64>()).prop_map(|(h, l)| (u128::from(h) << 64) | u128::from(l))
+}
+
+fn pint() -> impl Strategy<Value = PInt> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(PInt::Const),
+        name().prop_map(PInt::Var),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (name(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| PInt::Call(f, args)),
+            (
+                prop_oneof![Just(IntOp::Add), Just(IntOp::Sub), Just(IntOp::Mul)],
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, a, b)| PInt::Bin(op, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn pbool() -> impl Strategy<Value = PBool> {
+    let atom = prop_oneof![
+        any::<bool>().prop_map(PBool::Const),
+        (
+            prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Le), Just(CmpOp::Eq)],
+            pint(),
+            pint()
+        )
+            .prop_map(|(op, a, b)| PBool::Cmp(op, a, b)),
+    ];
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|b| PBool::Not(Box::new(b))),
+            (
+                prop_oneof![Just(BoolOp::And), Just(BoolOp::Or)],
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, a, b)| PBool::Bin(op, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn pstmt(depth: u32) -> BoxedStrategy<PStmt> {
+    if depth == 0 {
+        prop_oneof![
+            Just(PStmt::Skip),
+            (name(), pint()).prop_map(|(x, t)| PStmt::Assign(x, t)),
+            (any::<u32>(), any::<bool>()).prop_map(|(id, b)| PStmt::Notify(id, b)),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            2 => (name(), pint()).prop_map(|(x, t)| PStmt::Assign(x, t)),
+            1 => (pstmt(depth - 1), pstmt(depth - 1))
+                .prop_map(|(a, b)| PStmt::Seq(Box::new(a), Box::new(b))),
+            1 => (pbool(), pstmt(depth - 1), pstmt(depth - 1))
+                .prop_map(|(c, a, b)| PStmt::If(c, Box::new(a), Box::new(b))),
+            1 => (pbool(), pstmt(depth - 1))
+                .prop_map(|(c, body)| PStmt::While(c, Box::new(body))),
+        ]
+        .boxed()
+    }
+}
+
+fn program() -> impl Strategy<Value = PortableProgram> {
+    (
+        any::<u32>(),
+        prop::collection::vec(name(), 0..4),
+        pstmt(3),
+    )
+        .prop_map(|(id, params, body)| PortableProgram { id, params, body })
+}
+
+fn stats() -> impl Strategy<Value = ConsolidationStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        prop_oneof![
+            Just(DegradationTier::Full),
+            Just(DegradationTier::Partial),
+            Just(DegradationTier::Sequential)
+        ],
+    )
+        .prop_map(|(q, m, pc, sc, tier)| {
+            let mut s = ConsolidationStats {
+                entailment_queries: q,
+                memo_hits: m,
+                pairs_consolidated: pc,
+                ..ConsolidationStats::default()
+            };
+            s.rules.if3 = q.rotate_left(7);
+            s.solver.checks = sc;
+            s.tier = tier;
+            s
+        })
+}
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snapshot_round_trips(
+        entries in prop::collection::vec((key(), program(), stats()), 0..5),
+    ) {
+        let dir = std::env::temp_dir().join("plan-cache-prop-snapshot");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("snap-{}.txt", CASE.fetch_add(1, Ordering::Relaxed)));
+
+        let cache = PlanCache::default();
+        for (key, prog, st) in &entries {
+            cache.insert(PlanKey(*key), CachedPlan::new(prog.clone(), *st));
+        }
+        cache.save(&path).expect("save");
+        let loaded = PlanCache::load(&path, CacheConfig::default()).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        let a = cache.entries();
+        let b = loaded.entries();
+        prop_assert_eq!(a.len(), b.len());
+        for ((ka, pa), (kb, pb)) in a.iter().zip(&b) {
+            prop_assert_eq!(ka, kb);
+            prop_assert_eq!(&pa.program, &pb.program);
+            prop_assert_eq!(pa.stats, pb.stats);
+            prop_assert_eq!(pa.tier, pb.tier);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Regenerates **Figure 10**: scalability with the number of UDFs.
 //!
 //! ```text
-//! cargo run -p udf-bench --release --bin figure10 -- [--fast] [--seed S]
+//! cargo run -p udf-bench --release --bin figure10 -- [--fast] [--warm-cache] [--seed S]
 //! ```
 //!
 //! The paper sweeps the number of News-domain mixed queries from 10 to 300
@@ -9,19 +9,28 @@
 //! `whereConsolidated` UDF & total time staying roughly constant, and
 //! consolidation time staying under a second. This binary prints the same
 //! series as a table.
+//!
+//! With `--warm-cache` every sweep point runs twice against one shared
+//! [`plan_cache::PlanCache`]: a cold submission that consolidates and fills
+//! the cache, then a warm resubmission that must be served from it. The
+//! table then reports both consolidation times and asserts the cached plan
+//! pretty-prints identically to the freshly consolidated one.
 
 use consolidate::Options;
-use udf_bench::{run_family_passes, Scale};
+use plan_cache::PlanCache;
+use udf_bench::{run_family_cached, run_family_passes, Scale};
 use udf_lang::intern::Interner;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::full();
     let mut seed = 42u64;
+    let mut warm_cache = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => scale = Scale::fast(),
+            "--warm-cache" => warm_cache = true,
             "--seed" => {
                 seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
             }
@@ -51,6 +60,10 @@ fn main() {
 
     println!("Figure 10 — scalability with the number of UDFs (news domain, BC mix)");
     println!("records: {}, workers: {workers}, seed {seed}", records.len());
+    if warm_cache {
+        run_warm(sweep, scale, seed, workers, &opts, &mut interner, &env, &records);
+        return;
+    }
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14} {:>10} {:>6}",
         "nUDFs", "many-udf(s)", "many-total(s)", "cons-udf(s)", "cons-total(s)", "consolid.(s)",
@@ -59,11 +72,7 @@ fn main() {
     for &n in sweep {
         // The paper's scalability benchmark uses mixes of News query
         // families; BC is the mixed family.
-        let fam = udf_data::news::families()
-            .into_iter()
-            .find(|f| f.label == "BC")
-            .expect("news has a BC family");
-        let programs = (fam.build)(n, seed, &mut interner);
+        let programs = (bc_family().build)(n, seed, &mut interner);
         let r = run_family_passes(
             "news",
             "BC",
@@ -91,4 +100,70 @@ fn main() {
     println!("---");
     println!("expected shape (paper): many-* grows linearly with nUDFs; cons-udf stays");
     println!("roughly flat; consolidation time grows but remains far below execution.");
+}
+
+fn bc_family() -> udf_data::Family {
+    udf_data::news::families()
+        .into_iter()
+        .find(|f| f.label == "BC")
+        .expect("news has a BC family")
+}
+
+/// Warm-cache sweep: each point is submitted twice against one shared plan
+/// cache — cold (consolidates, fills) then warm (served from the cache).
+#[allow(clippy::too_many_arguments)]
+fn run_warm(
+    sweep: &[usize],
+    scale: Scale,
+    seed: u64,
+    workers: usize,
+    opts: &Options,
+    interner: &mut Interner,
+    env: &udf_data::news::NewsEnv,
+    records: &[udf_data::news::Article],
+) {
+    let cache = PlanCache::default();
+    println!("warm-cache mode: every point runs cold, then again from the shared cache");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9} {:>9} {:>10} {:>6}",
+        "nUDFs", "cold-cons.(s)", "warm-cons.(s)", "speedup", "outcome", "same-plan", "q'tine"
+    );
+    let mut all_same = true;
+    for &n in sweep {
+        let programs = (bc_family().build)(n, seed, interner);
+        let cold = run_family_cached(
+            "news", "BC", env, records, programs.clone(), interner, workers, opts,
+            scale.passes, Some(&cache),
+        );
+        let warm = run_family_cached(
+            "news", "BC", env, records, programs, interner, workers, opts,
+            scale.passes, Some(&cache),
+        );
+        let same_plan = cold.merged_text == warm.merged_text && cold.outputs_agree
+            && warm.outputs_agree;
+        all_same &= same_plan
+            && warm.plan_outcome == Some(plan_cache::PlanOutcome::Hit)
+            && warm.stats.solver.checks == 0;
+        println!(
+            "{:>6} {:>14.4} {:>14.4} {:>8.1}x {:>9} {:>10} {:>6}",
+            n,
+            cold.consolidation.as_secs_f64(),
+            warm.consolidation.as_secs_f64(),
+            cold.consolidation.as_secs_f64() / warm.consolidation.as_secs_f64().max(1e-9),
+            warm.plan_outcome.map_or("-", |o| o.as_str()),
+            if same_plan { "ok" } else { "MISMATCH" },
+            cold.quarantined + warm.quarantined,
+        );
+    }
+    let stats = cache.stats();
+    println!("---");
+    println!(
+        "cache: {} hits, {} misses, {} inserts, {} entries, {} bytes",
+        stats.hits, stats.misses, stats.inserts, stats.entries, stats.bytes
+    );
+    if !all_same {
+        println!("warm runs did not reproduce the cold plans");
+        std::process::exit(1);
+    }
+    println!("every warm run was a cache hit with zero SMT checks and an identical plan");
 }

@@ -93,6 +93,13 @@ fn main() {
             "consolidation : avg {:.3}s per family of {} UDFs   (paper: ~0.3s for 50 UDFs)",
             cons_avg, scale.queries
         );
+        let checks: u64 = runs.iter().map(|r| r.stats.solver.checks).sum();
+        let memo: u64 = runs.iter().map(|r| r.stats.memo_hits).sum();
+        let pairs: u64 = runs.iter().map(|r| r.stats.pairs_consolidated).sum();
+        println!(
+            "solver work   : {checks} SMT checks, {memo} memo hits over {pairs} pairs ({:.1} checks/pair)",
+            checks as f64 / pairs.max(1) as f64
+        );
         let disagreements = runs.iter().filter(|r| !r.outputs_agree).count();
         println!("output checks : {} families, {disagreements} mismatches", runs.len());
         if disagreements > 0 {

@@ -58,6 +58,12 @@ pub struct FamilyRun {
     /// datasets; benches run under [`naiad_lite::ErrorPolicy::Quarantine`]
     /// so a faulting record degrades the row instead of killing the sweep).
     pub quarantined: usize,
+    /// Pretty-printed merged program — lets warm-cache sweeps assert the
+    /// cached plan is textually identical to a freshly consolidated one.
+    pub merged_text: String,
+    /// How the plan cache satisfied the request (`None` when no cache was
+    /// supplied and consolidation always ran fresh).
+    pub plan_outcome: Option<plan_cache::PlanOutcome>,
 }
 
 impl FamilyRun {
@@ -105,14 +111,49 @@ pub fn run_family_passes<E: UdfEnv>(
     opts: &Options,
     passes: usize,
 ) -> FamilyRun {
+    run_family_cached(
+        domain, family, env, records, programs, interner, workers, opts, passes, None,
+    )
+}
+
+/// Like [`run_family_passes`] but consults `cache` before consolidating:
+/// a stored plan for the same (canonical) query set is served without
+/// touching the Ω engine or the SMT solver, modelling a platform that
+/// amortizes consolidation across job submissions.
+#[allow(clippy::too_many_arguments)]
+pub fn run_family_cached<E: UdfEnv>(
+    domain: &str,
+    family: &str,
+    env: &E,
+    records: &[E::Rec],
+    programs: Vec<Program>,
+    interner: &mut Interner,
+    workers: usize,
+    opts: &Options,
+    passes: usize,
+    cache: Option<&plan_cache::PlanCache>,
+) -> FamilyRun {
     let cm = CostModel::default();
     let n_queries = programs.len();
     let source_size: usize = programs.iter().map(Program::size).sum();
 
-    // Consolidate (timed, parallel divide-and-conquer as in §6.1).
+    // Consolidate (timed, parallel divide-and-conquer as in §6.1), going
+    // through the plan cache when one is supplied.
     let fns = FnCostOf(env);
-    let merged = consolidate::consolidate_many(&programs, interner, &cm, &fns, opts, true)
-        .expect("families share params and have distinct ids");
+    let (merged, plan_outcome) = match cache {
+        Some(cache) => {
+            let (merged, outcome) = plan_cache::consolidate_many_cached(
+                cache, &programs, interner, &cm, &fns, opts, true,
+            )
+            .expect("families share params and have distinct ids");
+            (merged, Some(outcome))
+        }
+        None => (
+            consolidate::consolidate_many(&programs, interner, &cm, &fns, opts, true)
+                .expect("families share params and have distinct ids"),
+            None,
+        ),
+    };
     let consolidation = merged.elapsed;
 
     // Compile both plans.
@@ -173,6 +214,8 @@ pub fn run_family_passes<E: UdfEnv>(
         outputs_agree,
         stats: merged.stats,
         quarantined,
+        merged_text: udf_lang::pretty::program(&merged.program, interner),
+        plan_outcome,
     }
 }
 
@@ -306,7 +349,7 @@ pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -
 /// Formats a [`FamilyRun`] table row.
 pub fn format_row(r: &FamilyRun) -> String {
     format!(
-        "{:<8} {:<4} {:>4} {:>9} {:>10.2}x {:>10.2}x {:>12.3}s {:>8} {:>8} {:>7} {:>6}",
+        "{:<8} {:<4} {:>4} {:>9} {:>10.2}x {:>10.2}x {:>12.3}s {:>8} {:>8} {:>7} {:>8} {:>6} {:>6}",
         r.domain,
         r.family,
         r.n_queries,
@@ -317,6 +360,8 @@ pub fn format_row(r: &FamilyRun) -> String {
         if r.outputs_agree { "ok" } else { "MISMATCH" },
         r.merged_size,
         r.stats.tier.as_str(),
+        r.stats.solver.checks,
+        r.stats.memo_hits,
         r.quarantined,
     )
 }
@@ -324,8 +369,8 @@ pub fn format_row(r: &FamilyRun) -> String {
 /// Table header matching [`format_row`].
 pub fn header() -> String {
     format!(
-        "{:<8} {:<4} {:>4} {:>9} {:>11} {:>11} {:>13} {:>8} {:>8} {:>7} {:>6}",
+        "{:<8} {:<4} {:>4} {:>9} {:>11} {:>11} {:>13} {:>8} {:>8} {:>7} {:>8} {:>6} {:>6}",
         "domain", "fam", "n", "records", "udf-spdup", "tot-spdup", "consolid.", "agree", "size",
-        "tier", "q'tine"
+        "tier", "smt-chk", "memo", "q'tine"
     )
 }

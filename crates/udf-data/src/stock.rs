@@ -107,11 +107,8 @@ pub fn dataset_sized(n: usize, days: usize, seed: u64) -> Vec<Ticker> {
                 // Geometric-ish random walk, ±2% daily.
                 let delta = price * r.gen_range(-20..21) / 1000;
                 price = (price + delta).max(50);
-                close.push(i32::try_from(price).expect("price fits i32"));
-                volume.push(
-                    i32::try_from((base_vol * r.gen_range(50..150) / 100).max(1))
-                        .expect("volume fits i32"),
-                );
+                close.push(price);
+                volume.push((base_vol * r.gen_range(50..150) / 100).max(1));
             }
             Ticker {
                 id: i64::try_from(id).expect("ticker id fits"),
@@ -223,13 +220,15 @@ pub fn families() -> Vec<Family> {
     ]
 }
 
+/// A boxed family builder: `(n_queries, seed, interner) -> programs`.
+pub type FamilyBuilder = Box<dyn Fn(usize, u64, &mut Interner) -> Vec<Program>>;
+
 /// Family builders against a reduced number of days (for fast tests).
-pub fn families_sized(days: i64) -> Vec<(&'static str, Box<dyn Fn(usize, u64, &mut Interner) -> Vec<Program>>)> {
+pub fn families_sized(days: i64) -> Vec<(&'static str, FamilyBuilder)> {
     (0..4usize)
         .map(|fam| {
             let label = ["Q1", "Q2", "Q3", "BC"][fam];
-            let b: Box<dyn Fn(usize, u64, &mut Interner) -> Vec<Program>> =
-                Box::new(move |n, s, i| build_sized(fam, n, days, s, i));
+            let b: FamilyBuilder = Box::new(move |n, s, i| build_sized(fam, n, days, s, i));
             (label, b)
         })
         .collect()

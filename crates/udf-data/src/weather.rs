@@ -73,8 +73,8 @@ impl WeatherEnv {
         let mut sum: i64 = 0;
         let mut n: i64 = 0;
         for start in [start1, start2] {
-            for h in start..(start + MONTH_HOURS).min(series.len()) {
-                sum += i64::from(series[h]);
+            for &v in series.iter().take(start + MONTH_HOURS).skip(start) {
+                sum += i64::from(v);
                 n += 1;
             }
         }

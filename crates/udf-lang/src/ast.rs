@@ -135,6 +135,9 @@ pub enum IntExpr {
     Bin(IntOp, Box<IntExpr>, Box<IntExpr>),
 }
 
+// The constructors below are associated functions taking both operands, not
+// operator-trait methods; the ambiguity clippy warns about cannot arise.
+#[allow(clippy::should_implement_trait)]
 impl IntExpr {
     /// `a + b`.
     pub fn add(a: IntExpr, b: IntExpr) -> IntExpr {
@@ -174,6 +177,7 @@ pub enum BoolExpr {
     Bin(BoolOp, Box<BoolExpr>, Box<BoolExpr>),
 }
 
+#[allow(clippy::should_implement_trait)]
 impl BoolExpr {
     /// `a && b`.
     pub fn and(a: BoolExpr, b: BoolExpr) -> BoolExpr {

@@ -48,19 +48,11 @@ impl CostBounds {
 }
 
 /// Options for the bound computation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct BoundsOptions {
     /// Assumed maximum trip count for loops whose bound is not syntactically
     /// evident; `None` leaves such loops unbounded above.
     pub loop_iterations: Option<u64>,
-}
-
-impl Default for BoundsOptions {
-    fn default() -> BoundsOptions {
-        BoundsOptions {
-            loop_iterations: None,
-        }
-    }
 }
 
 fn bool_cost(e: &BoolExpr, cm: &CostModel, fns: &dyn FnCost) -> Cost {

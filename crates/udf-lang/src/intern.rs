@@ -97,7 +97,7 @@ impl Interner {
         loop {
             let candidate = format!("{prefix}%{}", self.fresh_counter);
             self.fresh_counter += 1;
-            if self.map.get(candidate.as_str()).is_none() {
+            if !self.map.contains_key(candidate.as_str()) {
                 return self.intern(&candidate);
             }
         }

@@ -19,7 +19,9 @@
 //! * [`interp`] — the big-step interpreter producing `E, S ⇓ᵏ E', N`,
 //! * [`library`] — the interface for external (uninterpreted) functions,
 //! * [`analysis`] — free/assigned-variable analyses and renaming used by the
-//!   consolidation engine.
+//!   consolidation engine,
+//! * [`canon`] — De Bruijn-style alpha-canonicalization and stable structural
+//!   hashing, the key basis for the plan cache.
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod canon;
 pub mod cost;
 pub mod costs;
 pub mod intern;

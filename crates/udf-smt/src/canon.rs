@@ -1,0 +1,232 @@
+//! Canonical 128-bit hashing of entailment queries, for cross-thread
+//! memoization.
+//!
+//! `consolidate_many` runs its pair threads over *independent* [`Context`]s,
+//! but consolidating structurally equal program pairs produces structurally
+//! equal obligations `Ψ ⊨ φ` whose only difference is variable naming (SSA
+//! versions like `u0$x%3@2` embed per-run fresh counters). The verdict of an
+//! entailment is invariant under any injective renaming of the free
+//! variables applied *jointly* to Ψ and φ, so a memo table may be keyed on a
+//! canonical form that erases names: variables are numbered by first
+//! occurrence in a fixed traversal of Ψ then φ, while function symbols keep
+//! their (semantic) names and arities.
+//!
+//! The hash is a 128-bit FNV-1a over a prefix-free tagged byte stream —
+//! deterministic across processes and independent of the arena ids in any
+//! particular [`Context`]. Collisions are possible in principle (the table
+//! maps hash → verdict without storing the formulas), but at 128 bits they
+//! are negligible next to solver resource limits; a false hit would require
+//! an FNV-128 collision between two canonical streams.
+
+use crate::ctx::{Context, Formula, FormulaId, Term, TermId, VarId};
+use std::collections::HashMap;
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+struct Hasher<'c> {
+    ctx: &'c Context,
+    vars: HashMap<VarId, u64>,
+    state: u128,
+}
+
+impl<'c> Hasher<'c> {
+    fn new(ctx: &'c Context) -> Hasher<'c> {
+        Hasher {
+            ctx,
+            vars: HashMap::new(),
+            state: FNV_OFFSET,
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.state ^= u128::from(b);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn var(&mut self, v: VarId) {
+        let next = self.vars.len() as u64;
+        let idx = *self.vars.entry(v).or_insert(next);
+        self.byte(2);
+        self.u64(idx);
+    }
+
+    fn term(&mut self, id: TermId) {
+        match self.ctx.term(id) {
+            Term::Int(c) => {
+                self.byte(1);
+                self.bytes(&c.to_le_bytes());
+            }
+            Term::Var(v) => self.var(*v),
+            Term::App(f, args) => {
+                self.byte(3);
+                // Function symbols are semantic: hash the resolved name, not
+                // the per-context id.
+                let name = self.ctx.fn_name(*f).to_owned();
+                self.str(&name);
+                self.u64(args.len() as u64);
+                for &a in args {
+                    self.term(a);
+                }
+            }
+            Term::Add(a, b) => {
+                self.byte(4);
+                self.term(*a);
+                self.term(*b);
+            }
+            Term::Sub(a, b) => {
+                self.byte(5);
+                self.term(*a);
+                self.term(*b);
+            }
+            Term::Mul(a, b) => {
+                self.byte(6);
+                self.term(*a);
+                self.term(*b);
+            }
+        }
+    }
+
+    fn formula(&mut self, id: FormulaId) {
+        match self.ctx.formula(id) {
+            Formula::True => self.byte(7),
+            Formula::False => self.byte(8),
+            Formula::Le(a, b) => {
+                self.byte(9);
+                self.term(*a);
+                self.term(*b);
+            }
+            Formula::Lt(a, b) => {
+                self.byte(10);
+                self.term(*a);
+                self.term(*b);
+            }
+            Formula::Eq(a, b) => {
+                self.byte(11);
+                self.term(*a);
+                self.term(*b);
+            }
+            Formula::Not(f) => {
+                self.byte(12);
+                self.formula(*f);
+            }
+            Formula::And(a, b) => {
+                self.byte(13);
+                self.formula(*a);
+                self.formula(*b);
+            }
+            Formula::Or(a, b) => {
+                self.byte(14);
+                self.formula(*a);
+                self.formula(*b);
+            }
+        }
+    }
+}
+
+/// Canonical key of the entailment query `psi ⊨ phi` inside `ctx`.
+///
+/// Two queries — possibly in different contexts — receive the same key
+/// whenever they are identical up to a joint injective renaming of their
+/// variables. The variable numbering is shared across both formulas (Ψ is
+/// walked first), so cross-formula variable sharing is preserved: the key of
+/// `x ≤ 3 ⊨ x ≤ 5` differs from the key of `x ≤ 3 ⊨ y ≤ 5`.
+pub fn entailment_key(ctx: &Context, psi: FormulaId, phi: FormulaId) -> u128 {
+    let mut h = Hasher::new(ctx);
+    h.byte(b'E');
+    h.formula(psi);
+    h.byte(b'|');
+    h.formula(phi);
+    h.state
+}
+
+/// Canonical key of a single formula (fresh variable numbering).
+pub fn formula_key(ctx: &Context, f: FormulaId) -> u128 {
+    let mut h = Hasher::new(ctx);
+    h.formula(f);
+    h.state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `v ≤ k ∧ f(v) = w` over the given variable names.
+    fn shape(ctx: &mut Context, v: &str, w: &str, k: i64) -> (FormulaId, FormulaId) {
+        let x = ctx.int_var(v);
+        let y = ctx.int_var(w);
+        let kk = ctx.int(k);
+        let f = ctx.fn_sym("f", 1);
+        let fx = ctx.app(f, vec![x]);
+        let le = ctx.le(x, kk);
+        let eq = ctx.eq(fx, y);
+        let psi = ctx.and(le, eq);
+        let phi = ctx.le(y, kk);
+        (psi, phi)
+    }
+
+    #[test]
+    fn renamed_queries_share_a_key() {
+        let mut c1 = Context::new();
+        let (p1, q1) = shape(&mut c1, "u0$x%3@2", "u0$y%4@1", 10);
+        let mut c2 = Context::new();
+        // Different names, different declaration interleaving history.
+        let _noise = c2.int_var("zzz");
+        let (p2, q2) = shape(&mut c2, "u7$x%55@9", "u7$y%56@3", 10);
+        assert_eq!(entailment_key(&c1, p1, q1), entailment_key(&c2, p2, q2));
+    }
+
+    #[test]
+    fn constants_and_structure_separate_keys() {
+        let mut c1 = Context::new();
+        let (p1, q1) = shape(&mut c1, "x", "y", 10);
+        let mut c2 = Context::new();
+        let (p2, q2) = shape(&mut c2, "x", "y", 11);
+        assert_ne!(entailment_key(&c1, p1, q1), entailment_key(&c2, p2, q2));
+    }
+
+    #[test]
+    fn variable_sharing_across_psi_and_phi_matters() {
+        let mut c = Context::new();
+        let x = c.int_var("x");
+        let y = c.int_var("y");
+        let three = c.int(3);
+        let five = c.int(5);
+        let psi = c.le(x, three);
+        let phi_same = c.le(x, five);
+        let phi_other = c.le(y, five);
+        assert_ne!(
+            entailment_key(&c, psi, phi_same),
+            entailment_key(&c, psi, phi_other)
+        );
+    }
+
+    #[test]
+    fn function_names_are_semantic() {
+        let mut c = Context::new();
+        let x = c.int_var("x");
+        let f = c.fn_sym("f", 1);
+        let g = c.fn_sym("g", 1);
+        let fx = c.app(f, vec![x]);
+        let gx = c.app(g, vec![x]);
+        let zero = c.int(0);
+        let pf = c.le(fx, zero);
+        let pg = c.le(gx, zero);
+        assert_ne!(formula_key(&c, pf), formula_key(&c, pg));
+    }
+}

@@ -6,6 +6,8 @@
 //! that role with a self-contained implementation:
 //!
 //! * [`ctx`] — hash-consed terms and formulas ([`Context`]),
+//! * [`canon`] — context-independent canonical hashing of entailment
+//!   queries, the key basis for cross-thread memoization,
 //! * [`cnf`] — NNF conversion and Tseitin CNF over theory atoms,
 //! * [`sat`] — a CDCL SAT core (watched literals, first-UIP learning, VSIDS),
 //! * [`euf`] — congruence closure for uninterpreted functions,
@@ -52,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod cnf;
 pub mod ctx;
 pub mod euf;

@@ -378,13 +378,13 @@ impl Tableau {
         // Solve row for x_j: x_j = (x_b − Σ_{k≠j} a_k x_k) / a.
         let inv = Rat::ONE.checked_div(a).ok_or(Overflow)?;
         let mut new_row = vec![Rat::ZERO; self.n_total];
-        for k in 0..self.n_total {
+        for (k, cell) in new_row.iter_mut().enumerate() {
             if k == j {
                 continue;
             }
             let ak = self.rows[r][k];
             if !ak.is_zero() {
-                new_row[k] = ak
+                *cell = ak
                     .checked_neg()
                     .ok_or(Overflow)?
                     .checked_mul(inv)
@@ -402,11 +402,11 @@ impl Tableau {
                 continue;
             }
             self.rows[r2][j] = Rat::ZERO;
-            for k in 0..self.n_total {
-                if new_row[k].is_zero() {
+            for (k, &nk) in new_row.iter().enumerate() {
+                if nk.is_zero() {
                     continue;
                 }
-                let inc = c.checked_mul(new_row[k]).ok_or(Overflow)?;
+                let inc = c.checked_mul(nk).ok_or(Overflow)?;
                 self.rows[r2][k] = self.rows[r2][k].checked_add(inc).ok_or(Overflow)?;
             }
         }
@@ -450,17 +450,15 @@ impl Tableau {
                 let b = self.basic[r];
                 if let Some(l) = self.lb[b] {
                     if self.beta[b] < l {
-                        if viol.map_or(true, |(v, _, _)| b < v) {
+                        if viol.is_none_or(|(v, _, _)| b < v) {
                             viol = Some((b, r, true));
                         }
                         continue;
                     }
                 }
                 if let Some(u) = self.ub[b] {
-                    if self.beta[b] > u {
-                        if viol.map_or(true, |(v, _, _)| b < v) {
-                            viol = Some((b, r, false));
-                        }
+                    if self.beta[b] > u && viol.is_none_or(|(v, _, _)| b < v) {
+                        viol = Some((b, r, false));
                     }
                 }
             }
@@ -484,11 +482,11 @@ impl Tableau {
                 }
                 let can = if need_increase {
                     // Increase x_b: raise x_j if a>0 (x_j below ub), lower if a<0.
-                    (a.signum() > 0 && self.ub[j].map_or(true, |u| self.beta[j] < u))
-                        || (a.signum() < 0 && self.lb[j].map_or(true, |l| self.beta[j] > l))
+                    (a.signum() > 0 && self.ub[j].is_none_or(|u| self.beta[j] < u))
+                        || (a.signum() < 0 && self.lb[j].is_none_or(|l| self.beta[j] > l))
                 } else {
-                    (a.signum() > 0 && self.lb[j].map_or(true, |l| self.beta[j] > l))
-                        || (a.signum() < 0 && self.ub[j].map_or(true, |u| self.beta[j] < u))
+                    (a.signum() > 0 && self.lb[j].is_none_or(|l| self.beta[j] > l))
+                        || (a.signum() < 0 && self.ub[j].is_none_or(|u| self.beta[j] < u))
                 };
                 if can {
                     pivot_col = Some(j);

@@ -15,6 +15,8 @@
 //! * [`engine`] — the consolidation calculus and the Ω algorithm,
 //! * [`dataflow`] — the Naiad-like multi-worker execution substrate with
 //!   `where_many` / `where_consolidated` operators,
+//! * [`cache`] — the consolidated-plan cache keyed on canonical UDF-set
+//!   hashes, with textual snapshots for warm starts across runs,
 //! * [`workloads`] — the five evaluation domains (Weather, Flight, News,
 //!   Twitter, Stock) with dataset generators and query families.
 //!
@@ -25,6 +27,7 @@
 
 pub use consolidate as engine;
 pub use naiad_lite as dataflow;
+pub use plan_cache as cache;
 pub use udf_data as workloads;
 pub use udf_lang as lang;
 pub use udf_smt as smt;

@@ -235,6 +235,7 @@ fn sample_payloads_are_capped_and_correct() {
             error_policy: ErrorPolicy::Quarantine { max_errors: 64 },
             fuel: Some(TEST_FUEL),
             max_payload_samples: 3,
+            ..Default::default()
         });
     let run = engine
         .run(&h.env, &h.records, &h.queries, ExecMode::Many, false)

@@ -1,0 +1,174 @@
+//! Warm-start parity: serving a consolidated plan from the cache must be
+//! observationally identical to consolidating from scratch.
+//!
+//! The invariants under test:
+//!
+//! 1. **Plan identity** — the cached program pretty-prints identically to a
+//!    freshly consolidated one, even though it crossed the cache as an
+//!    interner-independent portable program (simulated here by rebuilding
+//!    the whole pipeline against a brand-new interner).
+//! 2. **Zero solver work on a hit** — the second submission of the same
+//!    query set performs no SMT `check` calls at all.
+//! 3. **Execution parity on survivors** — under fault injection, the warm
+//!    `where_consolidated` run selects the same records and quarantines the
+//!    same records as the cold run (and as `where_many`).
+
+use naiad_lite::engine::{Engine, ErrorPolicy, ExecMode, QuerySet};
+use naiad_lite::fault::{silence_injected_panics, FaultPlan, FaultyEnv};
+use naiad_lite::ScalarEnv;
+use plan_cache::{PlanCache, PlanOutcome};
+use udf_lang::ast::Program;
+use udf_lang::cost::CostModel;
+use udf_lang::intern::Interner;
+use udf_lang::library::Library;
+use udf_lang::FnLibrary;
+
+/// Fuel low enough that an injected burn record exhausts it, high enough
+/// that healthy records never come close (same sizing as `fault_matrix`).
+const TEST_FUEL: u64 = 50_000;
+
+fn library(interner: &mut Interner) -> FnLibrary {
+    let probe = interner.intern("probe");
+    let half = interner.intern("half");
+    let mut lib = FnLibrary::new();
+    lib.register(probe, "probe", 1, 20, |a| a[0]);
+    lib.register(half, "half", 1, 10, |a| a[0] / 2);
+    lib
+}
+
+fn probing_queries(interner: &mut Interner, n: u32) -> Vec<Program> {
+    (0..n)
+        .map(|k| {
+            udf_lang::parse::parse_program(
+                &format!(
+                    "program q{k} @{k} (v) {{
+                         p := probe(v);
+                         spin := half(p);
+                         while (spin > 50) {{ spin := spin - 1; }}
+                         if (p > {}) {{ notify true; }} else {{ notify false; }}
+                     }}",
+                    k * 10
+                ),
+                interner,
+            )
+            .expect("test program parses")
+        })
+        .collect()
+}
+
+struct Run {
+    env: FaultyEnv<ScalarEnv>,
+    records: Vec<(usize, Vec<i64>)>,
+    queries: QuerySet,
+    merged_text: String,
+    outcome: PlanOutcome,
+    solver_checks: u64,
+}
+
+/// One full "job submission": fresh interner (as a new process would have),
+/// queries rebuilt from source, consolidation routed through `cache`.
+fn submit(cache: &PlanCache, plan: FaultPlan) -> Run {
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let programs = probing_queries(&mut interner, 4);
+    let cm = CostModel::default();
+    let opts = consolidate::Options::default();
+    let (queries, merged, outcome) = QuerySet::compile_consolidated_cached(
+        &programs,
+        &mut interner,
+        &cm,
+        &lib,
+        &|f| lib.cost(f),
+        &opts,
+        false,
+        cache,
+    )
+    .expect("cached consolidation succeeds");
+    let merged_text = udf_lang::pretty::program(&merged.program, &interner);
+    let trigger = interner.intern("probe");
+    let env =
+        FaultyEnv::new(ScalarEnv::new(1, lib), trigger, plan).with_burn_value(1_000_000_000);
+    let records = FaultyEnv::<ScalarEnv>::index_records((0..200).map(|v| vec![v]));
+    Run {
+        env,
+        records,
+        queries,
+        merged_text,
+        outcome,
+        solver_checks: merged.stats.solver.checks,
+    }
+}
+
+fn quarantine_engine() -> Engine {
+    Engine::new(4)
+        .with_error_policy(ErrorPolicy::Quarantine { max_errors: 64 })
+        .with_fuel(TEST_FUEL)
+}
+
+#[test]
+fn warm_cache_run_is_indistinguishable_from_cold() {
+    silence_injected_panics();
+    let cache = PlanCache::default();
+    let plan = FaultPlan::seeded(0xca9e, 200, 12);
+
+    let cold = submit(&cache, plan.clone());
+    assert_eq!(cold.outcome, PlanOutcome::Miss, "first submission consolidates");
+    assert!(cold.solver_checks > 0, "cold consolidation does solver work");
+
+    let warm = submit(&cache, plan);
+    assert_eq!(warm.outcome, PlanOutcome::Hit, "second submission is served");
+    assert_eq!(
+        warm.solver_checks, 0,
+        "a cache hit must perform zero SMT checks"
+    );
+    assert_eq!(
+        cold.merged_text, warm.merged_text,
+        "the cached plan must pretty-print identically to the fresh one"
+    );
+
+    // Execution parity on the fault-matrix survivors: cold consolidated,
+    // warm consolidated, and warm many must agree on counts and quarantine.
+    let engine = quarantine_engine();
+    let cold_cons = engine
+        .run(&cold.env, &cold.records, &cold.queries, ExecMode::Consolidated, false)
+        .expect("cold consolidated run");
+    let warm_cons = engine
+        .run(&warm.env, &warm.records, &warm.queries, ExecMode::Consolidated, false)
+        .expect("warm consolidated run");
+    let warm_many = engine
+        .run(&warm.env, &warm.records, &warm.queries, ExecMode::Many, false)
+        .expect("warm many run");
+
+    assert_eq!(cold_cons.counts, warm_cons.counts);
+    assert_eq!(
+        cold_cons.quarantine.records(),
+        warm_cons.quarantine.records(),
+        "warm run must quarantine exactly the records the cold run did"
+    );
+    assert_eq!(warm_many.counts, warm_cons.counts);
+    assert_eq!(warm_many.quarantine.records(), warm_cons.quarantine.records());
+
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.inserts, 1);
+}
+
+#[test]
+fn healthy_records_select_identically_through_the_cache() {
+    let cache = PlanCache::default();
+    let cold = submit(&cache, FaultPlan::none());
+    let warm = submit(&cache, FaultPlan::none());
+    assert_eq!(warm.outcome, PlanOutcome::Hit);
+
+    let engine = Engine::new(2).with_fuel(TEST_FUEL);
+    let a = engine
+        .run(&cold.env, &cold.records, &cold.queries, ExecMode::Consolidated, false)
+        .expect("cold run");
+    let b = engine
+        .run(&warm.env, &warm.records, &warm.queries, ExecMode::Consolidated, false)
+        .expect("warm run");
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.quarantine.records_quarantined, 0);
+    assert_eq!(b.quarantine.records_quarantined, 0);
+}

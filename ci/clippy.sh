@@ -2,15 +2,16 @@
 # Lint gate for the whole workspace, in two tiers.
 #
 # The fail-soft layers — naiad-lite (engine, quarantine, fault injection),
-# consolidate (budgeted consolidation), and plan-cache (shared plan store) —
-# must not unwrap in production code: faults are data here, not bugs. For
-# them clippy::unwrap_used is denied on top of all default warnings;
-# integration tests and unit-test modules opt back in via explicit allow
-# attributes. The remaining crates (language, solver, datasets, benches) are
-# held to -D warnings.
+# consolidate (budgeted consolidation), plan-cache (shared plan store), and
+# udf-obs (instrumentation must never panic the host) — must not unwrap in
+# production code: faults are data here, not bugs. For them
+# clippy::unwrap_used is denied on top of all default warnings; integration
+# tests and unit-test modules opt back in via explicit allow attributes. The
+# remaining crates (language, solver, datasets, benches) are held to
+# -D warnings.
 set -eu
 cd "$(dirname "$0")/.."
-cargo clippy -p naiad-lite -p consolidate -p plan-cache --all-targets --no-deps -- \
+cargo clippy -p naiad-lite -p consolidate -p plan-cache -p udf-obs --all-targets --no-deps -- \
     -D warnings -D clippy::unwrap_used
 cargo clippy -p udf-lang -p udf-smt -p udf-data -p udf-bench --all-targets --no-deps -- \
     -D warnings

@@ -2,8 +2,10 @@
 //! divide-and-conquer consolidation of `n` programs (paper §6.1).
 
 use crate::budget::{BudgetState, DegradationTier};
+use crate::explain::ExplainReport;
 use crate::rules::{Engine, Options, RuleStats};
 use crate::symbolic::{SymState, SymbolicCtx};
+use udf_obs::names;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -73,6 +75,10 @@ pub struct Consolidated {
     pub stats: ConsolidationStats,
     /// Wall-clock time spent consolidating.
     pub elapsed: Duration,
+    /// Rule-derivation trees, present iff [`Options::explain`] was set
+    /// (`consolidate_many` concatenates one [`crate::explain::PairExplain`]
+    /// per engine pair).
+    pub explain: Option<ExplainReport>,
 }
 
 fn check_compatible(p1: &Program, p2: &Program) -> Result<(), ConsolidateError> {
@@ -115,7 +121,9 @@ fn consolidate_pair_budgeted(
 ) -> Result<Consolidated, ConsolidateError> {
     check_compatible(p1, p2)?;
     let start = Instant::now();
+    let _pair_span = opts.recorder.span(names::PAIR_NS);
     if budget.is_some_and(|b| b.exhausted()) {
+        opts.recorder.add(names::PAIRS_DEGRADED, 1);
         return Ok(Consolidated {
             program: sequential_merge(p1, p2),
             stats: ConsolidationStats {
@@ -124,10 +132,20 @@ fn consolidate_pair_budgeted(
                 ..ConsolidationStats::default()
             },
             elapsed: start.elapsed(),
+            explain: None,
         });
     }
     let mut cx = SymbolicCtx::new(interner, opts.mode);
-    cx.set_solver(opts.solver.clone());
+    // One sink for all three layers: the engine's rule counters, the
+    // context's entailment counters and the solver's search counters all
+    // land in `opts.recorder`, which is what makes the emitted metrics
+    // agree with the returned `ConsolidationStats` by construction.
+    cx.set_recorder(opts.recorder.clone());
+    let mut solver = opts.solver.clone();
+    if opts.recorder.enabled() {
+        solver.recorder = opts.recorder.clone();
+    }
+    cx.set_solver(solver);
     if let Some(b) = budget {
         cx.set_budget(Arc::clone(b));
     }
@@ -138,7 +156,16 @@ fn consolidate_pair_budgeted(
     let mut engine = Engine::new(&mut cx, cm, fns, opts, p1.params.iter().copied());
     let body = engine.omega(st, p1.body.clone(), p2.body.clone(), 0);
     let rules = engine.stats;
+    let trace = engine.take_trace();
+    let explain = opts
+        .explain
+        .then(|| ExplainReport::single(p1.id, p2.id, trace));
     let exhausted = cx.budget_exhausted();
+    opts.recorder.add(names::PAIRS, 1);
+    // Budget-consumption timeline: cumulative entailment queries charged by
+    // this pair, observed once at pair end.
+    opts.recorder
+        .observe(names::BUDGET_QUERIES, cx.entailment_queries());
     let tier = if !exhausted {
         DegradationTier::Full
     } else if any_rewrites(&rules) {
@@ -158,6 +185,7 @@ fn consolidate_pair_budgeted(
             tier,
         },
         elapsed: start.elapsed(),
+        explain,
     })
 }
 
@@ -251,6 +279,7 @@ pub fn consolidate_many(
         .map(|(k, p)| rename_locals(p, interner, &format!("u{k}$")))
         .collect();
     let mut stats = ConsolidationStats::default();
+    let mut explain_pairs = Vec::new();
     let frozen: &Interner = interner;
     while level.len() > 1 {
         let mut next: Vec<Program> = Vec::with_capacity(level.len().div_ceil(2));
@@ -292,11 +321,15 @@ pub fn consolidate_many(
                 Err(ConsolidateError::Empty) => {
                     let (a, b) = pairs[k];
                     stats.pairs_degraded += 1;
+                    opts.recorder.add(names::PAIRS_DEGRADED, 1);
                     next.push(sequential_merge(a, b));
                     continue;
                 }
             };
             add_stats(&mut stats, &c.stats);
+            if let Some(mut rep) = c.explain {
+                explain_pairs.append(&mut rep.pairs);
+            }
             next.push(c.program);
         }
         if level.len() % 2 == 1 {
@@ -316,6 +349,9 @@ pub fn consolidate_many(
         program,
         stats,
         elapsed: start.elapsed(),
+        explain: opts.explain.then_some(ExplainReport {
+            pairs: explain_pairs,
+        }),
     })
 }
 
@@ -337,6 +373,11 @@ fn add_stats(acc: &mut ConsolidationStats, s: &ConsolidationStats) {
     sv.theory_checks += t.theory_checks;
     sv.theory_conflicts += t.theory_conflicts;
     sv.minimized_literals += t.minimized_literals;
+    sv.sat_decisions += t.sat_decisions;
+    sv.sat_conflicts += t.sat_conflicts;
+    sv.sat_propagations += t.sat_propagations;
+    sv.simplex_pivots += t.simplex_pivots;
+    sv.theory_rounds += t.theory_rounds;
     acc.pairs_consolidated += s.pairs_consolidated;
     acc.pairs_degraded += s.pairs_degraded;
 }

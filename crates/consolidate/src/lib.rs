@@ -17,7 +17,13 @@
 //!   for the fused loop, powering Loop 2/Loop 3;
 //! * [`rules`] — the Ω engine of Figure 8 applying Com/Skip/Assign/Step/
 //!   Seq/If 1–5/Loop 2–3;
-//! * [`api`] — pairwise and parallel divide-and-conquer n-way consolidation.
+//! * [`api`] — pairwise and parallel divide-and-conquer n-way consolidation;
+//! * [`explain`] — opt-in rule-derivation trees recording which rule fired
+//!   where and which entailments justified it (see `OBSERVABILITY.md`).
+//!
+//! Metrics: every layer emits counters/latency histograms through the
+//! [`udf_obs::RecorderCell`] installed in [`Options`] (`recorder` field,
+//! no-op by default).
 //!
 //! # Example
 //!
@@ -57,6 +63,7 @@
 
 pub mod api;
 pub mod budget;
+pub mod explain;
 pub mod invariants;
 pub mod memo;
 pub mod rules;
@@ -66,6 +73,8 @@ pub mod symbolic;
 pub use api::{consolidate_many, consolidate_pair, consolidate_pair_prerenamed, Consolidated,
               ConsolidateError, ConsolidationStats};
 pub use budget::{BudgetState, ConsolidationBudget, DegradationTier};
+pub use explain::{EntailmentEvent, EntailmentVia, ExplainEntry, ExplainNode, ExplainReport,
+                  PairExplain};
 pub use memo::EntailmentMemo;
 pub use rules::{IfPolicy, Options, RuleStats};
 pub use symbolic::EntailmentMode;

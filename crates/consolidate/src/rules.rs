@@ -21,10 +21,12 @@
 //! costs more than the sequential composition (Theorem 1); the property
 //! tests in `tests/` exercise exactly that invariant.
 
+use crate::explain::ExplainEntry;
 use crate::invariants::{self, InvOptions};
 use crate::simplify::{self, is_false, is_true, SimplifyOptions};
 use crate::symbolic::{EntailmentMode, SymState, SymbolicCtx};
 use std::collections::BTreeSet;
+use udf_obs::names;
 use udf_lang::analysis::{assigned_vars, bool_expr_fns, bool_expr_vars, called_fns, read_vars};
 use udf_lang::ast::{BoolExpr, Stmt};
 use udf_lang::cost::{CostModel, FnCost};
@@ -88,6 +90,16 @@ pub struct Options {
     /// proved" verdict recorded under tight resource limits would mask what
     /// a larger budget could prove (sound, but needlessly conservative).
     pub memo: Option<std::sync::Arc<crate::memo::EntailmentMemo>>,
+    /// Metrics sink shared by the engine, the symbolic context and (when
+    /// enabled) the SMT solver of each pair. No-op by default; install
+    /// [`udf_obs::RecorderCell::memory`] to collect. Clones share one sink,
+    /// so parallel pair threads aggregate into a single snapshot.
+    pub recorder: udf_obs::RecorderCell,
+    /// Record the full rule-derivation tree (which rule fired at each AST
+    /// node and which entailments justified it) into
+    /// [`crate::api::Consolidated::explain`]. Off by default: tracing
+    /// allocates per rule commit and renders every queried formula.
+    pub explain: bool,
 }
 
 impl Default for Options {
@@ -104,6 +116,8 @@ impl Default for Options {
             budget: crate::budget::ConsolidationBudget::UNLIMITED,
             solver: udf_smt::Solver::new(),
             memo: None,
+            recorder: udf_obs::RecorderCell::noop(),
+            explain: false,
         }
     }
 }
@@ -142,6 +156,8 @@ pub struct Engine<'c, 'i> {
     query_base: u64,
     /// Rule application counters.
     pub stats: RuleStats,
+    /// Flat derivation trace, present iff `opts.explain` is set.
+    trace: Option<Vec<ExplainEntry>>,
 }
 
 impl<'c, 'i> std::fmt::Debug for Engine<'c, 'i> {
@@ -161,6 +177,9 @@ impl<'c, 'i> Engine<'c, 'i> {
         params: impl IntoIterator<Item = Symbol>,
     ) -> Engine<'c, 'i> {
         let query_base = cx.entailment_queries();
+        if opts.explain {
+            cx.enable_explain();
+        }
         Engine {
             cx,
             cm,
@@ -169,6 +188,46 @@ impl<'c, 'i> Engine<'c, 'i> {
             params: params.into_iter().collect(),
             query_base,
             stats: RuleStats::default(),
+            trace: opts.explain.then(Vec::new),
+        }
+    }
+
+    /// Takes the flat derivation trace recorded so far (empty unless
+    /// `opts.explain` was set; see [`crate::explain::build_tree`]).
+    pub fn take_trace(&mut self) -> Vec<ExplainEntry> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Whether the engine is recording a derivation trace.
+    fn explain_on(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Counts a committed rule in the metrics sink and, in explain mode,
+    /// appends a derivation entry justified by every entailment event since
+    /// the previous commit.
+    fn note_rule(&mut self, depth: usize, metric: &'static str, rule: &'static str, detail: String) {
+        self.opts.recorder.add(metric, 1);
+        if self.trace.is_some() {
+            let entailments = self.cx.drain_explain();
+            if let Some(trace) = &mut self.trace {
+                trace.push(ExplainEntry {
+                    depth,
+                    rule,
+                    detail,
+                    entailments,
+                });
+            }
+        }
+    }
+
+    /// Pretty-prints a guard for explain details (empty when explain is off,
+    /// so the hot path never allocates).
+    fn detail_bool(&self, e: &BoolExpr) -> String {
+        if self.explain_on() {
+            udf_lang::pretty::bool_expr(e, self.cx.interner())
+        } else {
+            String::new()
         }
     }
 
@@ -227,15 +286,22 @@ impl<'c, 'i> Engine<'c, 'i> {
                 .is_some_and(|limit| depth > limit)
         {
             self.stats.budget_fallbacks += 1;
+            self.note_rule(depth, names::RULE_BUDGET_FALLBACK, "BudgetFallback", String::new());
             return s1.then(s2);
         }
         if depth > self.opts.max_depth
             || self.cx.entailment_queries() - self.query_base > self.opts.max_pair_queries
         {
             self.stats.depth_fallbacks += 1;
+            self.note_rule(depth, names::RULE_DEPTH_FALLBACK, "DepthFallback", String::new());
             return s1.then(s2);
         }
         let (h1, t1) = s1.split_head();
+        // Seq: a compound first program is consumed head-first; the head's
+        // rule and the tail's consolidation both appear under this entry.
+        if !t1.is_skip() && !matches!(h1, Stmt::Skip) {
+            self.note_rule(depth, names::RULE_SEQ, "Seq", String::new());
+        }
         match h1 {
             // Lines 4–6: skip handling and commutation when the first
             // program is exhausted.
@@ -244,20 +310,40 @@ impl<'c, 'i> Engine<'c, 'i> {
                     if s2.is_skip() {
                         return Stmt::Skip;
                     }
+                    self.note_rule(depth, names::RULE_COM, "Com", String::new());
                     return self.omega(st, s2, Stmt::Skip, depth + 1);
                 }
+                self.note_rule(depth, names::RULE_SKIP, "Skip", String::new());
                 self.omega(st, t1, s2, depth + 1)
             }
             // Line 7: Assign — simplify, emit, absorb into Ψ.
             Stmt::Assign(x, e) => {
                 let e = self.simp_int(&st, &e);
+                let detail = if self.explain_on() {
+                    format!(
+                        "{} := {}",
+                        self.cx.interner().resolve(x),
+                        udf_lang::pretty::int_expr(&e, self.cx.interner())
+                    )
+                } else {
+                    String::new()
+                };
+                self.note_rule(depth, names::RULE_ASSIGN, "Assign", detail);
                 let mut st2 = st;
                 st2.assign(self.cx, x, &e);
                 Stmt::Assign(x, e).then(self.omega(st2, t1, s2, depth + 1))
             }
             // Line 8: Step over notifications (broadcast as early as
             // possible; `sp` is transparent for them).
-            notify @ Stmt::Notify(..) => notify.then(self.omega(st, t1, s2, depth + 1)),
+            notify @ Stmt::Notify(..) => {
+                let detail = if self.explain_on() {
+                    "notify".to_owned()
+                } else {
+                    String::new()
+                };
+                self.note_rule(depth, names::RULE_STEP, "Step", detail);
+                notify.then(self.omega(st, t1, s2, depth + 1))
+            }
             Stmt::If(c, l, r) => self.consolidate_if(st, c, *l, *r, t1, s2, depth),
             Stmt::While(g, b) => self.consolidate_while(st, g, *b, t1, s2, depth),
             Stmt::Seq(..) => unreachable!("split_head never returns a sequence head"),
@@ -280,11 +366,15 @@ impl<'c, 'i> Engine<'c, 'i> {
         if is_true(&c_s) {
             // If 1: the else branch is dead and the test is free.
             self.stats.if_eliminated += 1;
+            let d = self.detail_bool(&c);
+            self.note_rule(depth, names::RULE_IF1, "If1", d);
             return self.omega(st, l.then(t1), s2, depth + 1);
         }
         if is_false(&c_s) {
             // If 2.
             self.stats.if_eliminated += 1;
+            let d = self.detail_bool(&c);
+            self.note_rule(depth, names::RULE_IF2, "If2", d);
             return self.omega(st, r.then(t1), s2, depth + 1);
         }
         let mut then_st = st.clone();
@@ -317,6 +407,8 @@ impl<'c, 'i> Engine<'c, 'i> {
             // branches.
             3 if embed_size <= self.opts.if3_size_limit => {
                 self.stats.if3 += 1;
+                let d = self.detail_bool(&c_s);
+                self.note_rule(depth, names::RULE_IF3, "If3", d);
                 let s_then = self.omega(then_st, l.then(t1.clone()), s2.clone(), depth + 1);
                 let s_else = self.omega(else_st, r.then(t1), s2, depth + 1);
                 Stmt::ite(c_s, s_then, s_else)
@@ -326,6 +418,8 @@ impl<'c, 'i> Engine<'c, 'i> {
             // derived rule).
             3 | 4 if s2.size() <= self.opts.if3_size_limit => {
                 self.stats.if4 += 1;
+                let d = self.detail_bool(&c_s);
+                self.note_rule(depth, names::RULE_IF4, "If4", d);
                 let s_then = self.omega(then_st, l, s2.clone(), depth + 1);
                 let s_else = self.omega(else_st, r, s2, depth + 1);
                 let mut post = st;
@@ -340,6 +434,8 @@ impl<'c, 'i> Engine<'c, 'i> {
             // consolidating the remainders after the conditional.
             _ => {
                 self.stats.if5 += 1;
+                let d = self.detail_bool(&c_s);
+                self.note_rule(depth, names::RULE_IF5, "If5", d);
                 let l_s = self.omega(then_st, l, Stmt::Skip, depth + 1);
                 let r_s = self.omega(else_st, r, Stmt::Skip, depth + 1);
                 let mut post = st;
@@ -376,6 +472,8 @@ impl<'c, 'i> Engine<'c, 'i> {
             // sequentially (each self-simplified), then consolidate the
             // remainders.
             self.stats.loop_seq += 1;
+            let d = self.detail_bool(&g1);
+            self.note_rule(depth, names::RULE_LOOP_SEQ, "LoopSeq", d);
             let (st_a, w1) = self.emit_loop_self(st, g1, b1, depth);
             let (st_b, w2) = self.emit_loop_self(st_a, g2, b2, depth);
             let rest = self.omega(st_b, t1, t2, depth + 1);
@@ -385,11 +483,14 @@ impl<'c, 'i> Engine<'c, 'i> {
         if s2.is_skip() {
             // `while ⊗ skip`: self-simplify and continue (breaks the Com
             // cycle of the raw calculus).
+            let d = self.detail_bool(&g1);
+            self.note_rule(depth, names::RULE_LOOP1, "Loop1", d);
             let (st2, w) = self.emit_loop_self(st, g1, b1, depth);
             return w.then(self.omega(st2, t1, Stmt::Skip, depth + 1));
         }
         // Line 32: the second program does not start with a loop — commute
         // so its prefix is consumed first.
+        self.note_rule(depth, names::RULE_COM, "Com", String::new());
         self.omega(st, s2, Stmt::While(g1, Box::new(b1)).then(t1), depth + 1)
     }
 
@@ -422,6 +523,8 @@ impl<'c, 'i> Engine<'c, 'i> {
         let loop2_goal = self.cx.smt.implies(exit, none_left);
         if self.cx.entails(&psi1, loop2_goal) {
             self.stats.loop2 += 1;
+            let d = self.detail_bool(g1);
+            self.note_rule(depth, names::RULE_LOOP2, "Loop2", d);
             let mut body_st = psi1.clone();
             body_st.assume(self.cx, g1);
             let body = self.omega(body_st, b1.clone(), b2.clone(), depth + 1);
@@ -434,6 +537,8 @@ impl<'c, 'i> Engine<'c, 'i> {
         let loop3_goal = self.cx.smt.implies(exit, f1);
         if self.cx.entails(&psi1, loop3_goal) {
             self.stats.loop3 += 1;
+            let d = self.detail_bool(g1);
+            self.note_rule(depth, names::RULE_LOOP3, "Loop3", d);
             let mut body_st = psi1.clone();
             body_st.assume(self.cx, g2);
             let body = self.omega(body_st, b1.clone(), b2.clone(), depth + 1);
@@ -452,6 +557,8 @@ impl<'c, 'i> Engine<'c, 'i> {
         let loop3b_goal = self.cx.smt.implies(exit, f2);
         if self.cx.entails(&psi1, loop3b_goal) {
             self.stats.loop3 += 1;
+            let d = self.detail_bool(g2);
+            self.note_rule(depth, names::RULE_LOOP3, "Loop3", d);
             let mut body_st = psi1.clone();
             body_st.assume(self.cx, g1);
             let body = self.omega(body_st, b2.clone(), b1.clone(), depth + 1);

@@ -179,6 +179,7 @@ fn candidate_rewrite(
             checks += 1;
             let cand = IntExpr::Const(v);
             if proves_equal(cx, st, e, &cand) {
+                cx.note_simplify_hit();
                 return Some(cand);
             }
         }
@@ -199,6 +200,7 @@ fn candidate_rewrite(
             checks += 1;
             let cand = IntExpr::Var(y);
             if proves_equal(cx, st, e, &cand) {
+                cx.note_simplify_hit();
                 return Some(cand);
             }
         }
@@ -228,6 +230,7 @@ fn candidate_rewrite(
                 IntExpr::sub(IntExpr::Var(y), IntExpr::Const(c))
             };
             if proves_equal(cx, st, e, &cand) {
+                cx.note_simplify_hit();
                 return Some(cand);
             }
         }
@@ -258,10 +261,12 @@ pub fn simplify_bool(
     // Bool 1 / Bool 2.
     let f = cx.formula_of_bool(st, &e);
     if cx.entails(st, f) {
+        cx.note_simplify_hit();
         return BoolExpr::Const(true);
     }
     let nf = cx.smt.not(f);
     if cx.entails(st, nf) {
+        cx.note_simplify_hit();
         return BoolExpr::Const(false);
     }
     match e {

@@ -19,9 +19,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use crate::explain::{EntailmentEvent, EntailmentVia};
 use udf_lang::analysis::assigned_vars;
 use udf_lang::ast::{BoolExpr, IntExpr, Stmt};
 use udf_lang::intern::{Interner, Symbol};
+use udf_obs::{names, RecorderCell};
 use udf_smt::ctx::{FormulaId, TermId};
 use udf_smt::{Context, SatResult, Solver};
 
@@ -56,6 +58,10 @@ pub struct SymbolicCtx<'i> {
     budget: Option<std::sync::Arc<crate::budget::BudgetState>>,
     memo: Option<std::sync::Arc<crate::memo::EntailmentMemo>>,
     memo_hits: u64,
+    recorder: RecorderCell,
+    /// Entailment events since the last drain, present iff explain mode is
+    /// on (see [`crate::explain`]).
+    explain_log: Option<Vec<EntailmentEvent>>,
 }
 
 impl<'i> std::fmt::Debug for SymbolicCtx<'i> {
@@ -86,6 +92,58 @@ impl<'i> SymbolicCtx<'i> {
             budget: None,
             memo: None,
             memo_hits: 0,
+            recorder: RecorderCell::noop(),
+            explain_log: None,
+        }
+    }
+
+    /// Installs a metrics sink; every entailment query, cache/memo hit and
+    /// cross-simplification rewrite is counted through it (see
+    /// [`udf_obs::names`] for the emitted names).
+    pub fn set_recorder(&mut self, recorder: RecorderCell) {
+        self.recorder = recorder;
+    }
+
+    /// The installed metrics sink (no-op by default).
+    pub fn recorder(&self) -> &RecorderCell {
+        &self.recorder
+    }
+
+    /// The interner names are resolved against (for diagnostics rendering).
+    pub fn interner(&self) -> &Interner {
+        self.interner
+    }
+
+    /// Turns on explain mode: every subsequent [`SymbolicCtx::entails`] call
+    /// appends an [`EntailmentEvent`] to an internal log that the Ω engine
+    /// drains at each rule commit.
+    pub fn enable_explain(&mut self) {
+        self.explain_log = Some(Vec::new());
+    }
+
+    /// Whether explain mode is on.
+    pub fn explain_enabled(&self) -> bool {
+        self.explain_log.is_some()
+    }
+
+    /// Takes the entailment events accumulated since the previous drain
+    /// (empty when explain mode is off).
+    pub fn drain_explain(&mut self) -> Vec<EntailmentEvent> {
+        self.explain_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Counts one applied cross-simplification rewrite (Figure 3 hit).
+    pub(crate) fn note_simplify_hit(&self) {
+        self.recorder.add(names::SIMPLIFY_HITS, 1);
+    }
+
+    /// Appends an explain event for a just-answered entailment question.
+    fn note_entailment(&mut self, phi: FormulaId, proved: bool, via: EntailmentVia) {
+        if self.explain_log.is_some() {
+            let query = self.smt.formula_to_string(phi);
+            if let Some(log) = &mut self.explain_log {
+                log.push(EntailmentEvent { query, proved, via });
+            }
         }
     }
 
@@ -210,15 +268,21 @@ impl<'i> SymbolicCtx<'i> {
     /// rewrite, never an unsound one.
     pub fn entails(&mut self, st: &SymState, phi: FormulaId) -> bool {
         self.entailment_queries += 1;
+        self.recorder.add(names::ENTAIL_QUERIES, 1);
+        let _span = self.recorder.span(names::ENTAIL_NS);
         match self.mode {
             EntailmentMode::Syntactic => {
-                st.conjuncts.contains(&phi) || self.smt.formula(phi) == &udf_smt::ctx::Formula::True
+                let v = st.conjuncts.contains(&phi)
+                    || self.smt.formula(phi) == &udf_smt::ctx::Formula::True;
+                self.note_entailment(phi, v, EntailmentVia::Syntactic);
+                v
             }
             EntailmentMode::Smt => {
                 // Budget exhaustion downgrades every entailment to "not
                 // proved" — the same sound answer an `Unknown` from the
                 // solver produces, so rewrites are lost but never wrong.
                 if self.budget_exhausted() {
+                    self.note_entailment(phi, false, EntailmentVia::BudgetExhausted);
                     return false;
                 }
                 let psi = if st.conjuncts.len() >= 24 {
@@ -228,6 +292,8 @@ impl<'i> SymbolicCtx<'i> {
                 };
                 if let Some(&v) = self.valid_cache.get(&(psi, phi)) {
                     self.entailment_cache_hits += 1;
+                    self.recorder.add(names::ENTAIL_CACHE_HITS, 1);
+                    self.note_entailment(phi, v, EntailmentVia::Cache);
                     return v;
                 }
                 // Shared memo (cross-thread, cross-run): keyed on the
@@ -241,11 +307,14 @@ impl<'i> SymbolicCtx<'i> {
                 if let (Some(memo), Some(key)) = (&self.memo, key) {
                     if let Some(v) = memo.lookup(key) {
                         self.memo_hits += 1;
+                        self.recorder.add(names::ENTAIL_MEMO_HITS, 1);
                         self.valid_cache.insert((psi, phi), v);
+                        self.note_entailment(phi, v, EntailmentVia::Memo);
                         return v;
                     }
                 }
                 if !self.charge_budget() {
+                    self.note_entailment(phi, false, EntailmentVia::BudgetExhausted);
                     return false;
                 }
                 let v = self.solver.is_valid(&mut self.smt, psi, phi);
@@ -253,6 +322,7 @@ impl<'i> SymbolicCtx<'i> {
                 if let (Some(memo), Some(key)) = (&self.memo, key) {
                     memo.store(key, v);
                 }
+                self.note_entailment(phi, v, EntailmentVia::Solver);
                 v
             }
         }

@@ -33,6 +33,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 use udf_lang::ast::ProgId;
+use udf_obs::names;
 use udf_lang::cost::{Cost, CostModel};
 use udf_lang::intern::Symbol;
 
@@ -207,6 +208,12 @@ pub struct EngineConfig {
     /// [`QuerySet::compile_consolidated_cached`] consults it before invoking
     /// the Ω engine, and [`JobReport::plan_cache`] snapshots its counters.
     pub plan_cache: Option<std::sync::Arc<plan_cache::PlanCache>>,
+    /// Metrics sink. No-op by default; install
+    /// [`udf_obs::RecorderCell::memory`] to collect per-record latency,
+    /// record/quarantine counters and (when the same cell is shared with
+    /// `consolidate::Options`) the full consolidation metrics surface.
+    /// [`JobReport::metrics`] snapshots it at the end of every run.
+    pub recorder: udf_obs::RecorderCell,
 }
 
 impl Default for EngineConfig {
@@ -216,6 +223,7 @@ impl Default for EngineConfig {
             fuel: None,
             max_payload_samples: 8,
             plan_cache: None,
+            recorder: udf_obs::RecorderCell::noop(),
         }
     }
 }
@@ -381,6 +389,10 @@ pub struct JobReport {
     /// Counters of the engine's [`plan_cache::PlanCache`] at job end (`None`
     /// when the engine has no cache attached).
     pub plan_cache: Option<plan_cache::CacheStats>,
+    /// Snapshot of [`EngineConfig::recorder`] at job end (`None` when the
+    /// recorder is the no-op default). Note the recorder accumulates across
+    /// runs sharing one config, so per-run deltas require a fresh cell.
+    pub metrics: Option<udf_obs::MetricsSnapshot>,
 }
 
 /// The execution engine: a worker pool plus failure-handling configuration.
@@ -428,6 +440,15 @@ impl Engine {
     #[must_use]
     pub fn with_fuel(mut self, fuel: u64) -> Engine {
         self.config.fuel = Some(fuel);
+        self
+    }
+
+    /// Installs a metrics sink; [`JobReport::metrics`] snapshots it after
+    /// every run. Pass the same cell the consolidation layer uses so engine,
+    /// Ω, and solver counters land in one place.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: udf_obs::RecorderCell) -> Engine {
+        self.config.recorder = recorder;
         self
     }
 
@@ -534,6 +555,7 @@ impl Engine {
             records: records.len(),
             quarantine,
             plan_cache: self.config.plan_cache.as_ref().map(|c| c.stats()),
+            metrics: self.config.recorder.snapshot(),
         })
     }
 }
@@ -621,15 +643,21 @@ fn run_shard<E: UdfEnv>(
     config: &EngineConfig,
 ) -> Result<ShardOut, EngineError> {
     let fuel = config.fuel.unwrap_or(queries.fuel);
+    let recorder = &config.recorder;
     let mut vm = Vm::new().with_fuel(fuel);
     let mut notify = vec![NOTIFY_NONE; n_q];
     let mut counts = vec![0u64; n_q];
     let mut missing = vec![0u64; n_q];
     let mut cost = 0u64;
+    let mut processed = 0u64;
     let mut quarantine: Vec<QuarantineEntry> = Vec::new();
     for (k, rec) in shard.iter().enumerate() {
         let record = base + k;
         notify.fill(NOTIFY_NONE);
+        processed += 1;
+        // The span reads the clock only when the sink is enabled, so the
+        // disabled-default hot path stays timer-free.
+        let _record_span = recorder.span(names::ENGINE_RECORD_NS);
         match eval_record(&mut vm, env, rec, queries, mode, track_cost, &mut notify) {
             Ok(c) => {
                 cost += c;
@@ -655,6 +683,18 @@ fn run_shard<E: UdfEnv>(
                         RecordFault::Vm(e) => (ErrorKind::of(e), e.to_string()),
                         RecordFault::Panic(m) => (ErrorKind::Panic, m.clone()),
                     };
+                    recorder.add(names::ENGINE_QUARANTINED, 1);
+                    recorder.add(
+                        match kind {
+                            ErrorKind::DuplicateNotify => {
+                                names::ENGINE_QUARANTINED_DUPLICATE_NOTIFY
+                            }
+                            ErrorKind::Lib => names::ENGINE_QUARANTINED_LIB,
+                            ErrorKind::OutOfFuel => names::ENGINE_QUARANTINED_OUT_OF_FUEL,
+                            ErrorKind::Panic => names::ENGINE_QUARANTINED_PANIC,
+                        },
+                        1,
+                    );
                     if matches!(fault, RecordFault::Panic(_)) {
                         // The VM's internal state is unspecified after an
                         // unwind through `run`; start from a fresh machine.
@@ -682,6 +722,7 @@ fn run_shard<E: UdfEnv>(
             },
         }
     }
+    recorder.add(names::ENGINE_RECORDS, processed);
     Ok(ShardOut {
         counts,
         missing,

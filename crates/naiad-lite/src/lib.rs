@@ -12,7 +12,7 @@
 //!
 //! This crate provides the same pair:
 //!
-//! * [`env`] — the binding between records and the UDF language: a
+//! * [`mod@env`] — the binding between records and the UDF language: a
 //!   [`env::UdfEnv`] exposes each record's scalar fields as UDF arguments and
 //!   its accessor methods as pure external functions;
 //! * [`compile`] — a register-slot bytecode compiler and VM for UDF programs

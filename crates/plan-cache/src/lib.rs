@@ -420,11 +420,13 @@ pub fn consolidate_many_cached(
         if plan.tier == DegradationTier::Full || budget_spent {
             let mut stats = plan.stats;
             stats.solver = udf_smt::SolverStats::default();
+            opts.recorder.add(udf_obs::names::PLAN_CACHE_HIT, 1);
             return Ok((
                 Consolidated {
                     program: plan.program.to_program(interner),
                     stats,
                     elapsed: start.elapsed(),
+                    explain: None,
                 },
                 PlanOutcome::Hit,
             ));
@@ -440,11 +442,13 @@ pub fn consolidate_many_cached(
             let mut stats = old.stats;
             stats.solver = fresh.stats.solver;
             stats.memo_hits += fresh.stats.memo_hits;
+            opts.recorder.add(udf_obs::names::PLAN_CACHE_UPGRADE, 1);
             Ok((
                 Consolidated {
                     program: old.program.to_program(interner),
                     stats,
                     elapsed: start.elapsed(),
+                    explain: None,
                 },
                 PlanOutcome::Upgrade,
             ))
@@ -452,11 +456,13 @@ pub fn consolidate_many_cached(
         Some(_) => {
             let portable = PortableProgram::from_program(&fresh.program, interner);
             cache.insert(key, CachedPlan::new(portable, fresh.stats));
+            opts.recorder.add(udf_obs::names::PLAN_CACHE_UPGRADE, 1);
             Ok((fresh, PlanOutcome::Upgrade))
         }
         None => {
             let portable = PortableProgram::from_program(&fresh.program, interner);
             cache.insert(key, CachedPlan::new(portable, fresh.stats));
+            opts.recorder.add(udf_obs::names::PLAN_CACHE_MISS, 1);
             Ok((fresh, PlanOutcome::Miss))
         }
     }

@@ -1,6 +1,7 @@
 //! Interner-independent program representation.
 //!
-//! A consolidated [`Program`] is built over [`Symbol`]s — indices into the
+//! A consolidated [`Program`] is built over [`udf_lang::intern::Symbol`]s —
+//! indices into the
 //! interner of the process (and run) that produced it. Consolidation also
 //! manufactures local names like `u0$x%3` (via `rename_locals` and
 //! `Interner::fresh`) that the concrete syntax cannot express, so neither
@@ -60,7 +61,8 @@ pub enum PStmt {
     Notify(u32, bool),
 }
 
-/// A [`Program`] with every [`Symbol`] resolved to its name.
+/// A [`Program`] with every [`udf_lang::intern::Symbol`] resolved to its
+/// name.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PortableProgram {
     /// Program id.

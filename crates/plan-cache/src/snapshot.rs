@@ -45,6 +45,11 @@ fn stat_fields(s: &ConsolidationStats) -> Vec<(&'static str, u64)> {
         ("solver.theory_checks", s.solver.theory_checks),
         ("solver.theory_conflicts", s.solver.theory_conflicts),
         ("solver.minimized_literals", s.solver.minimized_literals),
+        ("solver.sat_decisions", s.solver.sat_decisions),
+        ("solver.sat_conflicts", s.solver.sat_conflicts),
+        ("solver.sat_propagations", s.solver.sat_propagations),
+        ("solver.simplex_pivots", s.solver.simplex_pivots),
+        ("solver.theory_rounds", s.solver.theory_rounds),
     ]
 }
 
@@ -67,6 +72,11 @@ fn set_stat(s: &mut ConsolidationStats, name: &str, v: u64) {
         "solver.theory_checks" => s.solver.theory_checks = v,
         "solver.theory_conflicts" => s.solver.theory_conflicts = v,
         "solver.minimized_literals" => s.solver.minimized_literals = v,
+        "solver.sat_decisions" => s.solver.sat_decisions = v,
+        "solver.sat_conflicts" => s.solver.sat_conflicts = v,
+        "solver.sat_propagations" => s.solver.sat_propagations = v,
+        "solver.simplex_pivots" => s.solver.simplex_pivots = v,
+        "solver.theory_rounds" => s.solver.theory_rounds = v,
         // Unknown stat names come from newer writers; skip them.
         _ => {}
     }

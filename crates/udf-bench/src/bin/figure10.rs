@@ -1,8 +1,12 @@
 //! Regenerates **Figure 10**: scalability with the number of UDFs.
 //!
 //! ```text
-//! cargo run -p udf-bench --release --bin figure10 -- [--fast] [--warm-cache] [--seed S]
+//! cargo run -p udf-bench --release --bin figure10 -- [--fast] [--warm-cache] [--seed S] [--metrics]
 //! ```
+//!
+//! `--metrics` installs a shared in-memory [`udf_obs`] recorder and prints
+//! its JSON snapshot after the sweep; combined with `--warm-cache` the
+//! snapshot includes the `plan_cache.*` hit/miss/upgrade counters.
 //!
 //! The paper sweeps the number of News-domain mixed queries from 10 to 300
 //! and plots (log-scale): `whereMany` UDF & total time growing linearly,
@@ -26,11 +30,13 @@ fn main() {
     let mut scale = Scale::full();
     let mut seed = 42u64;
     let mut warm_cache = false;
+    let mut metrics = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => scale = Scale::fast(),
             "--warm-cache" => warm_cache = true,
+            "--metrics" => metrics = true,
             "--seed" => {
                 seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
             }
@@ -52,7 +58,10 @@ fn main() {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let opts = Options::default();
+    let mut opts = Options::default();
+    if metrics {
+        opts.recorder = udf_obs::RecorderCell::memory();
+    }
     let mut interner = Interner::new();
     let env = udf_data::news::NewsEnv::new(&mut interner);
     let n_articles = ((udf_data::news::DEFAULT_ARTICLES as f64) * scale.records) as usize;
@@ -62,6 +71,7 @@ fn main() {
     println!("records: {}, workers: {workers}, seed {seed}", records.len());
     if warm_cache {
         run_warm(sweep, scale, seed, workers, &opts, &mut interner, &env, &records);
+        dump_metrics(&opts);
         return;
     }
     println!(
@@ -100,6 +110,15 @@ fn main() {
     println!("---");
     println!("expected shape (paper): many-* grows linearly with nUDFs; cons-udf stays");
     println!("roughly flat; consolidation time grows but remains far below execution.");
+    dump_metrics(&opts);
+}
+
+/// Prints the shared recorder's JSON snapshot when `--metrics` enabled one.
+fn dump_metrics(opts: &Options) {
+    if let Some(snap) = opts.recorder.snapshot() {
+        println!("--- metrics snapshot (udf-obs) ---");
+        println!("{}", snap.to_json());
+    }
 }
 
 fn bc_family() -> udf_data::Family {

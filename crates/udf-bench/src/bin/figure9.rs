@@ -3,8 +3,20 @@
 //! domain, 50 queries per family.
 //!
 //! ```text
-//! cargo run -p udf-bench --release --bin figure9 -- [domain|all] [--fast] [--queries N] [--seed S]
+//! cargo run -p udf-bench --release --bin figure9 -- [domain|all] [--fast] [--queries N] [--seed S] [--metrics] [--explain]
 //! ```
+//!
+//! `--metrics` installs an in-memory [`udf_obs`] recorder shared by the Ω
+//! engine, the entailment layer, the SMT solver, and the dataflow engine,
+//! prints the JSON snapshot after the sweep, and cross-checks the recorder
+//! counters against the summed [`consolidate::ConsolidationStats`] (they
+//! must agree — both are incremented at the same sites).
+//!
+//! `--explain` skips the benchmark and instead consolidates a small worked
+//! pair of flight-style queries with derivation tracing on, printing the
+//! rule-derivation tree (which rule of §4 fired at each node, justified by
+//! which entailment queries) as indented text and as JSON. See
+//! `OBSERVABILITY.md` for a walkthrough.
 //!
 //! The paper reports UDF speedups of 2.6×–24.2× (avg 8.4×) and total
 //! speedups of 1.4×–23.1× (avg 6.0×), with consolidation averaging 0.3 s for
@@ -21,10 +33,14 @@ fn main() {
     let mut domains: Vec<DomainKind> = Vec::new();
     let mut scale = Scale::full();
     let mut seed = 42u64;
+    let mut metrics = false;
+    let mut explain = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => scale = Scale::fast(),
+            "--metrics" => metrics = true,
+            "--explain" => explain = true,
             "--queries" => {
                 scale.queries = it
                     .next()
@@ -54,7 +70,15 @@ fn main() {
         domains.extend(DomainKind::ALL);
     }
 
-    let opts = Options::default();
+    if explain {
+        run_explain();
+        return;
+    }
+
+    let mut opts = Options::default();
+    if metrics {
+        opts.recorder = udf_obs::RecorderCell::memory();
+    }
     println!("Figure 9 — speedup of where_consolidated over where_many");
     println!("(queries per family: {}, passes: {}, seed {seed})", scale.queries, scale.passes);
     println!("{}", header());
@@ -106,4 +130,86 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // `--metrics`: dump the shared recorder and cross-check it against the
+    // summed per-family stats. The recorder and the stats are incremented at
+    // the same sites, so any drift here is a bug in the instrumentation.
+    if let Some(snap) = opts.recorder.snapshot() {
+        println!("--- metrics snapshot (udf-obs) ---");
+        println!("{}", snap.to_json());
+        let checks: u64 = runs.iter().map(|r| r.stats.solver.checks).sum();
+        let memo: u64 = runs.iter().map(|r| r.stats.memo_hits).sum();
+        let pairs: u64 = runs.iter().map(|r| r.stats.pairs_consolidated).sum();
+        let mut coherent = true;
+        for (name, stat) in [
+            (udf_obs::names::SMT_CHECKS, checks),
+            (udf_obs::names::ENTAIL_MEMO_HITS, memo),
+            (udf_obs::names::PAIRS, pairs),
+        ] {
+            let rec = snap.counter(name);
+            let ok = rec == stat;
+            coherent &= ok;
+            println!(
+                "coherence: {name:<28} recorder={rec:>8} stats={stat:>8} {}",
+                if ok { "ok" } else { "MISMATCH" }
+            );
+        }
+        if !coherent {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Worked example for `--explain`: two flight-style standing queries that
+/// share a per-day accumulation loop and differ only in their alert
+/// thresholds. Consolidation interleaves the shared prologue, fuses (or
+/// sequences) the twin loops, and merges the overlapping conditionals, so
+/// the printed derivation names Seq, Assign, If, and Loop rules.
+fn run_explain() {
+    let mut interner = udf_lang::intern::Interner::new();
+    let src = "program fare_alert @1 (price, days) {
+                   total := 0;
+                   i := days;
+                   while (i > 0) { total := total + price; i := i - 1; }
+                   if (total >= 900) { notify true; } else { notify false; }
+               }
+               program fare_deal @2 (price, days) {
+                   total := 0;
+                   i := days;
+                   while (i > 0) { total := total + price; i := i - 1; }
+                   if (total >= 500) { notify true; } else { notify false; }
+               }";
+    let programs =
+        udf_lang::parse::parse_programs(src, &mut interner).expect("worked example parses");
+    let opts = Options {
+        explain: true,
+        ..Options::default()
+    };
+    let cm = udf_lang::cost::CostModel::default();
+    let merged = consolidate::consolidate_many(
+        &programs,
+        &mut interner,
+        &cm,
+        &udf_lang::cost::UniformFnCost(30),
+        &opts,
+        false,
+    )
+    .expect("worked example consolidates");
+    let report = merged.explain.expect("explain was requested");
+
+    println!("Consolidation explain — worked example (two flight-style queries)");
+    println!();
+    for p in &programs {
+        println!("{}", udf_lang::pretty::program(p, &interner));
+    }
+    println!("merged plan:");
+    println!("{}", udf_lang::pretty::program(&merged.program, &interner));
+    println!("derivation (rule per node, `|=` lines are the entailment queries");
+    println!("that justified it):");
+    print!("{}", report.render_text());
+    println!();
+    println!("rules fired: {}", report.rules_fired().join(", "));
+    println!();
+    println!("json:");
+    println!("{}", report.to_json());
 }

@@ -15,6 +15,7 @@
 //! the sequential runtime grows linearly.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use consolidate::Options;
 use naiad_lite::engine::{Engine, ExecMode, QuerySet};
@@ -64,6 +65,10 @@ pub struct FamilyRun {
     /// How the plan cache satisfied the request (`None` when no cache was
     /// supplied and consolidation always ran fresh).
     pub plan_outcome: Option<plan_cache::PlanOutcome>,
+    /// Rule-derivation tree for the merged plan; present only when
+    /// [`Options::explain`](consolidate::Options) was set and the plan was
+    /// consolidated fresh (cache hits carry no derivation).
+    pub explain: Option<consolidate::ExplainReport>,
 }
 
 impl FamilyRun {
@@ -169,9 +174,13 @@ pub fn run_family_cached<E: UdfEnv>(
 
     // Execute (each pass re-evaluates the whole collection). Quarantine
     // instead of fail-fast: one bad record degrades the row, not the sweep.
-    let engine = Engine::new(workers).with_error_policy(naiad_lite::ErrorPolicy::Quarantine {
-        max_errors: usize::MAX,
-    });
+    // Engine metrics share the consolidation sink, so a `--metrics` run gets
+    // one coherent snapshot across all three layers.
+    let engine = Engine::new(workers)
+        .with_error_policy(naiad_lite::ErrorPolicy::Quarantine {
+            max_errors: usize::MAX,
+        })
+        .with_recorder(opts.recorder.clone());
     let mut many_udf = Duration::ZERO;
     let mut cons_udf = Duration::ZERO;
     let mut outputs_agree = true;
@@ -216,6 +225,7 @@ pub fn run_family_cached<E: UdfEnv>(
         quarantined,
         merged_text: udf_lang::pretty::program(&merged.program, interner),
         plan_outcome,
+        explain: merged.explain,
     }
 }
 

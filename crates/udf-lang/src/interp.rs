@@ -1,7 +1,7 @@
 //! Big-step, cost-annotated interpreter (paper Figure 2).
 //!
 //! Judgements `E, e ⇓ᵏ c` and `E, S ⇓ᵏ E', N` are realized by
-//! [`Interp::int_expr`], [`Interp::bool_expr`], and [`Interp::stmt`]; the
+//! [`Interp::int_expr`], [`Interp::bool_expr`], and [`Interp::stmt_in`]; the
 //! notification environment `N` collects every `notifyᵢ b` executed. The
 //! disjoint-union `N₁ ⊎ N₂` of Figure 2 is enforced: broadcasting twice for
 //! the same program id is a runtime error.

@@ -1,0 +1,113 @@
+//! The canonical registry of metric names emitted by the workspace.
+//!
+//! Every instrumented crate takes its metric names from here so that the
+//! documented surface (`OBSERVABILITY.md`), the emission sites, and any
+//! downstream consumer agree on spelling. Counters are dimensionless event
+//! counts; histogram metrics end in a unit suffix (`_ns` = nanoseconds).
+
+// ---- udf-smt: solver layer ------------------------------------------------
+
+/// Counter: top-level solver satisfiability checks (`Solver::check*`).
+pub const SMT_CHECKS: &str = "smt.checks";
+/// Counter: theory final-checks over full propositional models.
+pub const SMT_THEORY_CHECKS: &str = "smt.theory_checks";
+/// Counter: theory conflicts that produced a blocking clause.
+pub const SMT_THEORY_CONFLICTS: &str = "smt.theory_conflicts";
+/// Counter: literals removed by greedy conflict minimization.
+pub const SMT_MINIMIZED_LITERALS: &str = "smt.minimized_literals";
+/// Counter: CDCL decisions across all SAT searches.
+pub const SMT_SAT_DECISIONS: &str = "smt.sat.decisions";
+/// Counter: CDCL conflicts across all SAT searches.
+pub const SMT_SAT_CONFLICTS: &str = "smt.sat.conflicts";
+/// Counter: unit propagations across all SAT searches.
+pub const SMT_SAT_PROPAGATIONS: &str = "smt.sat.propagations";
+/// Counter: simplex pivot operations (rational feasibility restoration),
+/// summed over every branch-and-bound node and Nelson–Oppen probe.
+pub const SMT_SIMPLEX_PIVOTS: &str = "smt.simplex.pivots";
+/// Counter: Nelson–Oppen equality-exchange rounds executed.
+pub const SMT_THEORY_ROUNDS: &str = "smt.theory.rounds";
+/// Histogram (ns): wall-clock latency of one `Solver::check*` call.
+pub const SMT_CHECK_NS: &str = "smt.check_ns";
+
+// ---- consolidate: rule engine ---------------------------------------------
+
+/// Counter: Com rule — operands commuted to expose a reducible head.
+pub const RULE_COM: &str = "consolidate.rule.com";
+/// Counter: Skip rule — a fully-consumed side dropped.
+pub const RULE_SKIP: &str = "consolidate.rule.skip";
+/// Counter: Assign rule — assignment absorbed into the context.
+pub const RULE_ASSIGN: &str = "consolidate.rule.assign";
+/// Counter: Step rule — a `notify` stepped over into the context.
+pub const RULE_STEP: &str = "consolidate.rule.step";
+/// Counter: Seq rule — a sequence head split off for consolidation.
+pub const RULE_SEQ: &str = "consolidate.rule.seq";
+/// Counter: If1 — conditional eliminated because the guard is implied true.
+pub const RULE_IF1: &str = "consolidate.rule.if1";
+/// Counter: If2 — conditional eliminated because the guard is implied false.
+pub const RULE_IF2: &str = "consolidate.rule.if2";
+/// Counter: If3 — both branches consolidated against the other program.
+pub const RULE_IF3: &str = "consolidate.rule.if3";
+/// Counter: If4 — other program embedded into the conditional's branches.
+pub const RULE_IF4: &str = "consolidate.rule.if4";
+/// Counter: If5 — conditional emitted as-is, consolidation continues after.
+pub const RULE_IF5: &str = "consolidate.rule.if5";
+/// Counter: Loop1 — a single remaining loop self-simplified against the
+/// context.
+pub const RULE_LOOP1: &str = "consolidate.rule.loop1";
+/// Counter: Loop2 — loop pair fused (trip counts proved equal).
+pub const RULE_LOOP2: &str = "consolidate.rule.loop2";
+/// Counter: Loop3 — loop pair fused with residual loop (trip counts ordered).
+pub const RULE_LOOP3: &str = "consolidate.rule.loop3";
+/// Counter: loop pair emitted sequentially (fusion premises not proved).
+pub const RULE_LOOP_SEQ: &str = "consolidate.rule.loop_seq";
+/// Counter: recursion-depth cap hit; remainder emitted sequentially.
+pub const RULE_DEPTH_FALLBACK: &str = "consolidate.rule.depth_fallback";
+/// Counter: consolidation budget exhausted; remainder emitted sequentially.
+pub const RULE_BUDGET_FALLBACK: &str = "consolidate.rule.budget_fallback";
+
+/// Counter: entailment queries asked of the symbolic context (`Ψ ⊨ φ`).
+pub const ENTAIL_QUERIES: &str = "consolidate.entail.queries";
+/// Counter: entailment queries answered by the cross-pair memo.
+pub const ENTAIL_MEMO_HITS: &str = "consolidate.entail.memo_hits";
+/// Counter: entailment queries answered by the per-pair validity cache.
+pub const ENTAIL_CACHE_HITS: &str = "consolidate.entail.cache_hits";
+/// Histogram (ns): wall-clock latency of one entailment query (all paths:
+/// syntactic, cached, memoized, solver).
+pub const ENTAIL_NS: &str = "consolidate.entail_ns";
+/// Counter: cross-simplification hits — a model-guided rewrite (Fig. 3)
+/// confirmed by the solver and applied.
+pub const SIMPLIFY_HITS: &str = "consolidate.simplify.hits";
+/// Counter: program pairs consolidated (one per Ω run).
+pub const PAIRS: &str = "consolidate.pairs";
+/// Counter: pairs that degraded to a sequential merge (budget/panic).
+pub const PAIRS_DEGRADED: &str = "consolidate.pairs_degraded";
+/// Histogram: cumulative budget queries charged, observed at the end of each
+/// pair — the budget consumption timeline across a `consolidate_many` run.
+pub const BUDGET_QUERIES: &str = "consolidate.budget.queries_charged";
+/// Histogram (ns): wall-clock latency of one pair consolidation.
+pub const PAIR_NS: &str = "consolidate.pair_ns";
+
+// ---- naiad-lite / plan-cache: execution layer -----------------------------
+
+/// Counter: records evaluated by the engine (per mode invocation).
+pub const ENGINE_RECORDS: &str = "engine.records";
+/// Histogram (ns): per-record UDF evaluation latency (all queries on that
+/// record, one mode). Only collected when the recorder is enabled.
+pub const ENGINE_RECORD_NS: &str = "engine.record_ns";
+/// Counter: records quarantined (any error kind).
+pub const ENGINE_QUARANTINED: &str = "engine.quarantined.records";
+/// Counter: records quarantined by a duplicate `notify`.
+pub const ENGINE_QUARANTINED_DUPLICATE_NOTIFY: &str = "engine.quarantined.duplicate_notify";
+/// Counter: records quarantined by a library-function error.
+pub const ENGINE_QUARANTINED_LIB: &str = "engine.quarantined.lib";
+/// Counter: records quarantined by fuel exhaustion.
+pub const ENGINE_QUARANTINED_OUT_OF_FUEL: &str = "engine.quarantined.out_of_fuel";
+/// Counter: records quarantined by a caught UDF panic.
+pub const ENGINE_QUARANTINED_PANIC: &str = "engine.quarantined.panic";
+/// Counter: plan-cache lookups served as-is.
+pub const PLAN_CACHE_HIT: &str = "plan_cache.hit";
+/// Counter: plan-cache misses (fresh consolidation stored).
+pub const PLAN_CACHE_MISS: &str = "plan_cache.miss";
+/// Counter: plan-cache hits on a degraded entry that were re-consolidated
+/// and upgraded to a better tier.
+pub const PLAN_CACHE_UPGRADE: &str = "plan_cache.upgrade";

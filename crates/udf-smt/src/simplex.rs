@@ -418,7 +418,8 @@ impl Tableau {
     }
 
     /// Restores rational feasibility. Bland's rule ensures termination.
-    fn check(&mut self) -> Step<Feas> {
+    /// Every pivot executed is counted into `pivots`.
+    fn check(&mut self, pivots: &mut u64) -> Step<Feas> {
         // Immediate bound contradictions.
         for v in 0..self.n_total {
             if let (Some(l), Some(u)) = (self.lb[v], self.ub[v]) {
@@ -496,6 +497,7 @@ impl Tableau {
             let Some(j) = pivot_col else {
                 return Ok(Feas::Infeasible);
             };
+            *pivots += 1;
             self.pivot_and_update(r, j, target)?;
             // After the pivot, x_j (now basic at row r) has value `target`;
             // the entering variable may itself violate its bounds — the loop
@@ -531,10 +533,19 @@ pub const DEFAULT_BNB_BUDGET: u64 = 4_000;
 /// explored branch-and-bound node; exhaustion yields
 /// [`LiaResult::Unknown`].
 pub fn solve(p: &LiaProblem, budget: &mut u64) -> LiaResult {
+    let mut pivots = 0;
+    solve_counted(p, budget, &mut pivots)
+}
+
+/// Like [`solve`], additionally counting simplex pivot operations into
+/// `pivots`. The counter is threaded by reference rather than stored on the
+/// tableau because branch-and-bound clones tableaus per node — a field would
+/// double-count cloned history.
+pub fn solve_counted(p: &LiaProblem, budget: &mut u64, pivots: &mut u64) -> LiaResult {
     match Tableau::build(p) {
         Ok(None) => LiaResult::Unsat,
         Ok(Some(t)) if t.is_overflow_marker() => LiaResult::Unknown,
-        Ok(Some(t)) => solve_rec(t, budget),
+        Ok(Some(t)) => solve_rec(t, budget, pivots),
         Err(()) => LiaResult::Unknown,
     }
 }
@@ -542,7 +553,7 @@ pub fn solve(p: &LiaProblem, budget: &mut u64) -> LiaResult {
 /// Iterative branch-and-bound over an explicit worklist (DFS). Each node is
 /// a cloned tableau with tightened bounds; depth is bounded by the budget,
 /// never by the call stack.
-fn solve_rec(root: Tableau, budget: &mut u64) -> LiaResult {
+fn solve_rec(root: Tableau, budget: &mut u64, pivots: &mut u64) -> LiaResult {
     let mut work: Vec<Tableau> = vec![root];
     let mut saw_unknown = false;
     while let Some(mut t) = work.pop() {
@@ -550,7 +561,7 @@ fn solve_rec(root: Tableau, budget: &mut u64) -> LiaResult {
             return LiaResult::Unknown;
         }
         *budget -= 1;
-        match t.check() {
+        match t.check(pivots) {
             Err(Overflow) => {
                 saw_unknown = true;
                 continue;

@@ -9,7 +9,8 @@
 use crate::cnf;
 use crate::ctx::{Context, Formula, FormulaId};
 use crate::sat::{Lit, SatOutcome, SatSolver, Var};
-use crate::theory::{self, TheoryLimits, TheoryLit, TheoryResult};
+use crate::theory::{self, TheoryLimits, TheoryLit, TheoryResult, TheoryStats};
+use udf_obs::{names, RecorderCell};
 
 /// Outcome of an SMT check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -33,6 +34,16 @@ pub struct SolverStats {
     pub theory_conflicts: u64,
     /// Literals removed by conflict minimization.
     pub minimized_literals: u64,
+    /// CDCL decisions across all boolean searches.
+    pub sat_decisions: u64,
+    /// CDCL conflicts across all boolean searches.
+    pub sat_conflicts: u64,
+    /// Unit propagations across all boolean searches.
+    pub sat_propagations: u64,
+    /// Simplex pivot operations across all theory checks.
+    pub simplex_pivots: u64,
+    /// Nelson–Oppen equality-exchange rounds across all theory checks.
+    pub theory_rounds: u64,
 }
 
 /// Configuration and statistics holder for SMT checks.
@@ -55,6 +66,11 @@ pub struct Solver {
     /// only suppress rewrites downstream — which is exactly what robustness
     /// tests use it for. Empty (the default) disables injection.
     pub force_unknown_checks: std::collections::BTreeSet<u64>,
+    /// Metrics sink. Defaults to the no-op recorder; install a
+    /// [`udf_obs::MemoryRecorder`] (via [`RecorderCell::memory`]) to collect
+    /// live counters and a per-check latency histogram. Cloning the solver
+    /// clones the *handle*: all clones feed the same sink.
+    pub recorder: RecorderCell,
     stats: SolverStats,
 }
 
@@ -73,6 +89,7 @@ impl Solver {
             theory_limits: TheoryLimits::default(),
             minimize_up_to: 24,
             force_unknown_checks: std::collections::BTreeSet::new(),
+            recorder: RecorderCell::noop(),
             stats: SolverStats::default(),
         }
     }
@@ -103,7 +120,9 @@ impl Solver {
         ctx: &Context,
         f: FormulaId,
     ) -> (SatResult, Option<theory::Model>) {
+        let _span = self.recorder.span(names::SMT_CHECK_NS);
         self.stats.checks += 1;
+        self.recorder.add(names::SMT_CHECKS, 1);
         if self
             .force_unknown_checks
             .contains(&(self.stats.checks - 1))
@@ -116,7 +135,26 @@ impl Solver {
             _ => {}
         }
         let mut sat = SatSolver::new();
-        let compiled = cnf::compile(ctx, f, &mut sat);
+        let out = self.search(ctx, f, &mut sat);
+        let st = sat.stats();
+        self.stats.sat_decisions += st.decisions;
+        self.stats.sat_conflicts += st.conflicts;
+        self.stats.sat_propagations += st.propagations;
+        self.recorder.add(names::SMT_SAT_DECISIONS, st.decisions);
+        self.recorder.add(names::SMT_SAT_CONFLICTS, st.conflicts);
+        self.recorder.add(names::SMT_SAT_PROPAGATIONS, st.propagations);
+        out
+    }
+
+    /// The CDCL(T) loop proper: enumerate boolean models of `f` with `sat`,
+    /// final-check each against the theory, learn blocking clauses.
+    fn search(
+        &mut self,
+        ctx: &Context,
+        f: FormulaId,
+        sat: &mut SatSolver,
+    ) -> (SatResult, Option<theory::Model>) {
+        let compiled = cnf::compile(ctx, f, sat);
         let atom_vars: Vec<(Var, FormulaId)> =
             compiled.atoms.iter().map(|(&v, &a)| (v, a)).collect();
         let mut saw_unknown = false;
@@ -137,11 +175,16 @@ impl Solver {
                 .map(|&(v, a)| (a, sat.value(v)))
                 .collect();
             self.stats.theory_checks += 1;
-            let (verdict, model) = theory::check_with_model(ctx, &literals, &self.theory_limits);
+            self.recorder.add(names::SMT_THEORY_CHECKS, 1);
+            let mut tstats = TheoryStats::default();
+            let (verdict, model) =
+                theory::check_with_model_stats(ctx, &literals, &self.theory_limits, &mut tstats);
+            self.fold_theory_stats(tstats);
             match verdict {
                 TheoryResult::Consistent => return (SatResult::Sat, model),
                 TheoryResult::Inconsistent => {
                     self.stats.theory_conflicts += 1;
+                    self.recorder.add(names::SMT_THEORY_CONFLICTS, 1);
                     let core = self.minimize(ctx, literals);
                     let clause: Vec<Lit> = atom_vars
                         .iter()
@@ -187,8 +230,13 @@ impl Solver {
         let mut i = 0;
         while i < literals.len() {
             let removed = literals.remove(i);
-            if theory::check(ctx, &literals, &self.theory_limits) == TheoryResult::Inconsistent {
+            let mut tstats = TheoryStats::default();
+            let verdict =
+                theory::check_with_model_stats(ctx, &literals, &self.theory_limits, &mut tstats).0;
+            self.fold_theory_stats(tstats);
+            if verdict == TheoryResult::Inconsistent {
                 self.stats.minimized_literals += 1;
+                self.recorder.add(names::SMT_MINIMIZED_LITERALS, 1);
                 // Keep it removed; index i now points at the next literal.
             } else {
                 literals.insert(i, removed);
@@ -196,6 +244,15 @@ impl Solver {
             }
         }
         literals
+    }
+
+    /// Accumulates one theory check's work counters into the cumulative
+    /// stats and the recorder.
+    fn fold_theory_stats(&mut self, t: TheoryStats) {
+        self.stats.simplex_pivots += t.pivots;
+        self.stats.theory_rounds += t.rounds;
+        self.recorder.add(names::SMT_SIMPLEX_PIVOTS, t.pivots);
+        self.recorder.add(names::SMT_THEORY_ROUNDS, t.rounds);
     }
 
     /// Whether `hypothesis ⇒ conclusion` is valid (proved by refutation).

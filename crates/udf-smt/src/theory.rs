@@ -56,6 +56,20 @@ impl Default for TheoryLimits {
     }
 }
 
+/// Work counters for one or more theory checks.
+///
+/// Filled by [`check_with_model_stats`]; the plain [`check`] /
+/// [`check_with_model`] entry points discard them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TheoryStats {
+    /// Nelson–Oppen exchange rounds executed.
+    pub rounds: u64,
+    /// Simplex (branch-and-bound) solves, including probe side-checks.
+    pub simplex_calls: u64,
+    /// Simplex pivot operations across all solves.
+    pub pivots: u64,
+}
+
 /// A theory literal: an atom formula with a polarity.
 pub type TheoryLit = (FormulaId, bool);
 
@@ -134,6 +148,18 @@ pub fn check_with_model(
     ctx: &Context,
     literals: &[TheoryLit],
     limits: &TheoryLimits,
+) -> (TheoryResult, Option<Model>) {
+    let mut stats = TheoryStats::default();
+    check_with_model_stats(ctx, literals, limits, &mut stats)
+}
+
+/// Like [`check_with_model`], additionally accumulating work counters
+/// (exchange rounds, simplex calls, pivots) into `stats`.
+pub fn check_with_model_stats(
+    ctx: &Context,
+    literals: &[TheoryLit],
+    limits: &TheoryLimits,
+    stats: &mut TheoryStats,
 ) -> (TheoryResult, Option<Model>) {
     let mut euf = Euf::new();
     let mut lz = Linearizer::new();
@@ -219,6 +245,7 @@ pub fn check_with_model(
 
     // Phase 2: Nelson–Oppen exchange.
     for _round in 0..limits.max_rounds {
+        stats.rounds += 1;
         // EUF classes → LIA equalities.
         let mut class_members: HashMap<u32, Vec<TermId>> = HashMap::new();
         let registered: Vec<TermId> = euf.registered_terms().to_vec();
@@ -251,7 +278,8 @@ pub fn check_with_model(
             diseqs: diseqs.clone(),
         };
         let mut budget = limits.lia_budget;
-        let model = match simplex::solve(&problem, &mut budget) {
+        stats.simplex_calls += 1;
+        let model = match simplex::solve_counted(&problem, &mut budget, &mut stats.pivots) {
             LiaResult::Unsat => return (TheoryResult::Inconsistent, None),
             LiaResult::Unknown => return (TheoryResult::Unknown, None),
             LiaResult::Sat(m) => m,
@@ -319,7 +347,8 @@ pub fn check_with_model(
                         diseqs: diseqs.clone(),
                     };
                     let mut b = limits.lia_budget;
-                    match simplex::solve(&p, &mut b) {
+                    stats.simplex_calls += 1;
+                    match simplex::solve_counted(&p, &mut b, &mut stats.pivots) {
                         LiaResult::Unsat => {}
                         LiaResult::Sat(_) => {
                             implied = false;

@@ -2,37 +2,56 @@
 """Injects measured benchmark tables into EXPERIMENTS.md.
 
 Usage: python3 fill_experiments.py
-Reads fig9_full.log / fig10_full.log / ablation.log when present and replaces
-the corresponding <!-- *_TABLE --> markers with fenced code blocks.
+Reads fig9_full.log / fig10_full.log / ablation.log when present and fills
+the corresponding `<!-- *_TABLE:BEGIN -->` … `<!-- *_TABLE:END -->` regions
+with fenced code blocks. The regions survive the rewrite, so re-running
+after a fresh benchmark replaces the old tables instead of appending
+(running against the legacy single `<!-- *_TABLE -->` marker upgrades it to
+the delimited form).
 """
 import os
 import re
 
-MARKERS = {
-    "<!-- FIG9_TABLE -->": "fig9_full.log",
-    "<!-- FIG10_TABLE -->": "fig10_full.log",
-    "<!-- ABLATION_TABLE -->": "ablation.log",
+TABLES = {
+    "FIG9_TABLE": "fig9_full.log",
+    "FIG10_TABLE": "fig10_full.log",
+    "ABLATION_TABLE": "ablation.log",
 }
+
+
+def render(log: str) -> str:
+    with open(log, encoding="utf-8") as fh:
+        body = fh.read().strip()
+    # Drop cargo noise lines.
+    lines = [
+        ln
+        for ln in body.splitlines()
+        if not re.match(r"\s*(Compiling|Finished|Running|warning)", ln)
+    ]
+    return "```text\n" + "\n".join(lines) + "\n```"
 
 
 def main() -> None:
     with open("EXPERIMENTS.md", encoding="utf-8") as fh:
         text = fh.read()
-    for marker, log in MARKERS.items():
-        if marker not in text:
-            continue
+    for name, log in TABLES.items():
         if not os.path.exists(log):
             continue
-        with open(log, encoding="utf-8") as fh:
-            body = fh.read().strip()
-        # Drop cargo noise lines.
-        lines = [
-            ln
-            for ln in body.splitlines()
-            if not re.match(r"\s*(Compiling|Finished|Running|warning)", ln)
-        ]
-        block = "```text\n" + "\n".join(lines) + "\n```"
-        text = text.replace(marker, block)
+        begin = f"<!-- {name}:BEGIN -->"
+        end = f"<!-- {name}:END -->"
+        legacy = f"<!-- {name} -->"
+        block = f"{begin}\n{render(log)}\n{end}"
+        if begin in text and end in text:
+            text = re.sub(
+                re.escape(begin) + r".*?" + re.escape(end),
+                lambda _m, b=block: b,
+                text,
+                flags=re.S,
+            )
+        elif legacy in text:
+            text = text.replace(legacy, block)
+        else:
+            print(f"marker for {name} not found; skipped")
     with open("EXPERIMENTS.md", "w", encoding="utf-8") as fh:
         fh.write(text)
     print("EXPERIMENTS.md updated")

@@ -313,6 +313,15 @@ impl fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
+impl VmError {
+    /// Whether the error is expected to clear on its own, making a retry of
+    /// the same record worthwhile. Today exactly [`LibError::Transient`];
+    /// every other error is deterministic, so retrying would only repeat it.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, VmError::Lib(LibError::Transient(_)))
+    }
+}
+
 impl From<LibError> for VmError {
     fn from(e: LibError) -> VmError {
         VmError::Lib(e)

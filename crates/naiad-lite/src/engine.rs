@@ -29,6 +29,7 @@
 
 use crate::compile::{Compiled, Vm, VmError, DEFAULT_FUEL, NOTIFY_NONE};
 use crate::env::UdfEnv;
+use crate::guard::{GuardAction, GuardMismatch, GuardObservation, GuardPolicy, GuardReport, GuardRun};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -60,6 +61,10 @@ pub struct QuerySet {
     /// Per-record VM step budget ([`DEFAULT_FUEL`] unless overridden here or
     /// by [`EngineConfig::fuel`]).
     pub fuel: u64,
+    /// Cache key of the consolidated plan, when it came through a
+    /// [`plan_cache::PlanCache`]. The plan guard invalidates this key on a
+    /// trip so the poisoned entry is never re-served.
+    pub plan_key: Option<plan_cache::PlanKey>,
 }
 
 impl QuerySet {
@@ -85,6 +90,7 @@ impl QuerySet {
             consolidated: None,
             consolidation_time: Duration::ZERO,
             fuel: DEFAULT_FUEL,
+            plan_key: None,
         })
     }
 
@@ -92,6 +98,15 @@ impl QuerySet {
     #[must_use]
     pub fn with_fuel(mut self, fuel: u64) -> QuerySet {
         self.fuel = fuel;
+        self
+    }
+
+    /// Records the plan-cache key of the consolidated program, enabling
+    /// guard-driven invalidation (set automatically by
+    /// [`QuerySet::compile_consolidated_cached`]).
+    #[must_use]
+    pub fn with_plan_key(mut self, key: plan_cache::PlanKey) -> QuerySet {
+        self.plan_key = Some(key);
         self
     }
 
@@ -140,8 +155,10 @@ impl QuerySet {
         let (merged, outcome) = plan_cache::consolidate_many_cached(
             cache, programs, interner, cm, fns, opts, parallel,
         )?;
+        let key = plan_cache::PlanKey::derive(programs, interner, opts, cm);
         let qs = QuerySet::compile_many(programs, cm, fn_cost)?
-            .with_consolidated(&merged.program, cm, fn_cost, merged.elapsed)?;
+            .with_consolidated(&merged.program, cm, fn_cost, merged.elapsed)?
+            .with_plan_key(key);
         Ok((qs, merged, outcome))
     }
 }
@@ -193,11 +210,89 @@ pub enum ErrorPolicy {
     },
 }
 
+/// Per-record retry behaviour for transient faults.
+///
+/// A [`VmError`] that classifies as transient ([`VmError::is_transient`] —
+/// today exactly [`udf_lang::library::LibError::Transient`]) is retried up
+/// to `max_retries` times before the record is quarantined or the job
+/// fails. Between attempts the worker sleeps a capped exponential backoff
+/// with deterministic jitter: attempt `k` waits in
+/// `[d/2, d]` where `d = min(base_backoff·2^(k−1), max_backoff)` and the
+/// point inside the interval is a pure hash of
+/// `(jitter_seed, record, k)` — reproducible run to run, yet decorrelated
+/// across records so a burst of transient faults does not retry in
+/// lockstep.
+///
+/// The default disables retries (`max_retries == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts per record before giving up (0 disables retries).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on the per-attempt backoff.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 0x5851_f42d_4c95_7f2d,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy retrying up to `n` times with no sleeping — the right shape
+    /// for tests and for in-memory libraries whose transient faults clear
+    /// on their own (e.g. a warming cache).
+    pub fn immediate(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: n,
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before retry attempt `attempt` (1-based) of `record`.
+    /// Pure in `(self, record, attempt)`.
+    pub fn backoff(&self, record: usize, attempt: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let doublings = attempt.saturating_sub(1).min(16);
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        let half = u64::try_from(exp.as_nanos() / 2).unwrap_or(u64::MAX / 2);
+        let mut state = self
+            .jitter_seed
+            ^ (record as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (u64::from(attempt) << 48);
+        let jitter = crate::fault::splitmix64(&mut state)
+            .checked_rem(half + 1)
+            .unwrap_or_default();
+        Duration::from_nanos(half + jitter)
+    }
+}
+
 /// Engine-wide execution configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Per-record failure handling.
     pub error_policy: ErrorPolicy,
+    /// Transient-fault retry behaviour (disabled by default).
+    pub retry: RetryPolicy,
+    /// Differential plan validation (disabled by default). Only applies to
+    /// [`ExecMode::Consolidated`] runs — the sequential path *is* the
+    /// reference semantics and needs no guarding.
+    pub guard: GuardPolicy,
     /// Per-record VM step budget override (`None` uses [`QuerySet::fuel`]).
     pub fuel: Option<u64>,
     /// How many quarantine entries keep a copy of the record's scalar
@@ -220,6 +315,8 @@ impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             error_policy: ErrorPolicy::FailFast,
+            retry: RetryPolicy::default(),
+            guard: GuardPolicy::default(),
             fuel: None,
             max_payload_samples: 8,
             plan_cache: None,
@@ -278,6 +375,9 @@ pub struct QuarantineEntry {
     /// The record's scalar arguments, captured for the first
     /// [`EngineConfig::max_payload_samples`] entries only.
     pub sample: Option<Vec<i64>>,
+    /// Retry attempts spent on this record before it was quarantined
+    /// (non-zero only for transient faults under an active [`RetryPolicy`]).
+    pub retries: u32,
 }
 
 /// Per-run account of everything the engine dropped instead of failing.
@@ -291,6 +391,13 @@ pub struct QuarantineReport {
     pub shards_lost: usize,
     /// Records in lost shards (not individually attributable).
     pub records_lost: usize,
+    /// Records that needed at least one transient-fault retry.
+    pub records_retried: usize,
+    /// Total retry attempts across all records.
+    pub retry_attempts: u64,
+    /// Retried records that ultimately succeeded (the rest are among
+    /// `entries`, each carrying its [`QuarantineEntry::retries`] count).
+    pub records_recovered: usize,
 }
 
 impl QuarantineReport {
@@ -341,6 +448,13 @@ pub enum EngineError {
     /// `ExecMode::Consolidated` was requested on a [`QuerySet`] without a
     /// consolidated program.
     MissingConsolidated,
+    /// The plan guard tripped under [`GuardAction::FailFast`]: the
+    /// consolidated plan diverged from the sequential semantics on at least
+    /// [`GuardPolicy::mismatch_threshold`] sampled records.
+    GuardTripped {
+        /// Structured account of the divergence.
+        incident: crate::guard::PlanIncident,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -361,6 +475,7 @@ impl fmt::Display for EngineError {
                 f,
                 "ExecMode::Consolidated requires QuerySet::with_consolidated"
             ),
+            EngineError::GuardTripped { incident } => write!(f, "{incident}"),
         }
     }
 }
@@ -393,6 +508,11 @@ pub struct JobReport {
     /// recorder is the no-op default). Note the recorder accumulates across
     /// runs sharing one config, so per-run deltas require a fresh cell.
     pub metrics: Option<udf_obs::MetricsSnapshot>,
+    /// Plan-guard outcome (`None` when the guard is disabled or the run was
+    /// not [`ExecMode::Consolidated`]). When `demoted` is set, every other
+    /// field of this report describes the sequential rerun, not the
+    /// abandoned consolidated pass.
+    pub guard: Option<GuardReport>,
 }
 
 /// The execution engine: a worker pool plus failure-handling configuration.
@@ -443,6 +563,20 @@ impl Engine {
         self
     }
 
+    /// Replaces only the plan-guard policy.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardPolicy) -> Engine {
+        self.config.guard = guard;
+        self
+    }
+
+    /// Replaces only the transient-fault retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Engine {
+        self.config.retry = retry;
+        self
+    }
+
     /// Installs a metrics sink; [`JobReport::metrics`] snapshots it after
     /// every run. Pass the same cell the consolidation layer uses so engine,
     /// Ω, and solver counters land in one place.
@@ -464,6 +598,14 @@ impl Engine {
 
     /// Runs `queries` over `records` in the given mode.
     ///
+    /// When [`EngineConfig::guard`] is active and `mode` is
+    /// [`ExecMode::Consolidated`], a deterministic sample of records is
+    /// shadow-executed through the sequential path; on a threshold breach
+    /// the configured [`GuardAction`] applies (see [`crate::guard`]). A
+    /// demotion discards the consolidated pass entirely and reruns the job
+    /// in [`ExecMode::Many`], so the returned report is bit-identical to a
+    /// pure-sequential run — no records are dropped by the switch.
+    ///
     /// # Errors
     ///
     /// Under [`ErrorPolicy::FailFast`], returns the first failure raised by
@@ -472,7 +614,8 @@ impl Engine {
     /// per-record failures are absorbed into the report and only
     /// [`EngineError::TooManyErrors`] aborts the job. Requesting
     /// `Consolidated` without a consolidated program is
-    /// [`EngineError::MissingConsolidated`] in either policy.
+    /// [`EngineError::MissingConsolidated`] in either policy. A guard trip
+    /// under [`GuardAction::FailFast`] is [`EngineError::GuardTripped`].
     pub fn run<E: UdfEnv>(
         &self,
         env: &E,
@@ -481,10 +624,73 @@ impl Engine {
         mode: ExecMode,
         track_cost: bool,
     ) -> Result<JobReport, EngineError> {
-        let n_q = queries.query_ids.len();
         if mode == ExecMode::Consolidated && queries.consolidated.is_none() {
             return Err(EngineError::MissingConsolidated);
         }
+        let policy = self.config.guard;
+        if mode != ExecMode::Consolidated || !policy.is_active() {
+            return self.run_once(env, records, queries, mode, track_cost, None);
+        }
+        let grun = GuardRun::new();
+        let primary = self.run_once(env, records, queries, mode, track_cost, Some(&grun));
+        if !grun.tripped() {
+            // Healthy plan — or LogOnly, which reports without tripping.
+            let mut report = primary?;
+            let incident = grun
+                .threshold_reached(&policy)
+                .then(|| grun.incident(&policy, records.len(), false));
+            report.guard = Some(GuardReport {
+                shadow_runs: grun.shadow_runs(),
+                mismatches: grun.mismatches(),
+                demoted: false,
+                incident,
+            });
+            return Ok(report);
+        }
+        // The consolidated plan diverged from the sequential semantics: its
+        // results (even a nominal success) are untrustworthy. Evict the
+        // plan from the cache so the divergence cannot recur on the next
+        // compile, then apply the policy.
+        let invalidated = self.invalidate_plan(queries);
+        let incident = grun.incident(&policy, records.len(), invalidated);
+        match policy.on_mismatch {
+            GuardAction::FailFast => Err(EngineError::GuardTripped { incident }),
+            // LogOnly never trips (see GuardRun::record_mismatch); Demote
+            // self-heals by rerunning the whole job sequentially.
+            GuardAction::Demote | GuardAction::LogOnly => {
+                self.config.recorder.add(names::GUARD_DEMOTIONS, 1);
+                let mut report =
+                    self.run_once(env, records, queries, ExecMode::Many, track_cost, None)?;
+                report.guard = Some(GuardReport {
+                    shadow_runs: grun.shadow_runs(),
+                    mismatches: grun.mismatches(),
+                    demoted: true,
+                    incident: Some(incident),
+                });
+                Ok(report)
+            }
+        }
+    }
+
+    /// Removes the query set's plan from the attached cache, if both exist.
+    fn invalidate_plan(&self, queries: &QuerySet) -> bool {
+        match (&self.config.plan_cache, queries.plan_key) {
+            (Some(cache), Some(key)) => cache.invalidate(key),
+            _ => false,
+        }
+    }
+
+    /// One execution pass in one mode, with optional guard instrumentation.
+    fn run_once<E: UdfEnv>(
+        &self,
+        env: &E,
+        records: &[E::Rec],
+        queries: &QuerySet,
+        mode: ExecMode,
+        track_cost: bool,
+        guard: Option<&GuardRun>,
+    ) -> Result<JobReport, EngineError> {
+        let n_q = queries.query_ids.len();
         let config = &self.config;
         let shard_len = records.len().div_ceil(self.workers.max(1)).max(1);
         let start = Instant::now();
@@ -496,7 +702,7 @@ impl Engine {
                 .map(|(k, shard)| {
                     let base = k * shard_len;
                     let h = scope.spawn(move || {
-                        run_shard(env, shard, base, queries, mode, track_cost, n_q, config)
+                        run_shard(env, shard, base, queries, mode, track_cost, n_q, config, guard)
                     });
                     (shard.len(), h)
                 })
@@ -536,9 +742,23 @@ impl Engine {
             }
             cost += s.cost;
             quarantine.entries.extend(s.quarantine);
+            quarantine.records_retried += s.records_retried;
+            quarantine.retry_attempts += s.retry_attempts;
+            quarantine.records_recovered += s.records_recovered;
         }
         quarantine.entries.sort_by_key(|e| e.record);
         quarantine.records_quarantined = quarantine.entries.len();
+        // Payload samples are captured per shard (each shard keeps up to the
+        // global cap, so any entry landing in the global first-N has one);
+        // strip the excess after the global sort so the report is identical
+        // for every worker count.
+        for e in quarantine
+            .entries
+            .iter_mut()
+            .skip(config.max_payload_samples)
+        {
+            e.sample = None;
+        }
         if let ErrorPolicy::Quarantine { max_errors } = config.error_policy {
             if quarantine.records_quarantined > max_errors {
                 return Err(EngineError::TooManyErrors {
@@ -556,6 +776,7 @@ impl Engine {
             quarantine,
             plan_cache: self.config.plan_cache.as_ref().map(|c| c.stats()),
             metrics: self.config.recorder.snapshot(),
+            guard: None,
         })
     }
 }
@@ -576,6 +797,9 @@ struct ShardOut {
     missing: Vec<u64>,
     cost: u64,
     quarantine: Vec<QuarantineEntry>,
+    records_retried: usize,
+    retry_attempts: u64,
+    records_recovered: usize,
 }
 
 /// How one record's evaluation ended.
@@ -641,24 +865,112 @@ fn run_shard<E: UdfEnv>(
     track_cost: bool,
     n_q: usize,
     config: &EngineConfig,
+    guard: Option<&GuardRun>,
 ) -> Result<ShardOut, EngineError> {
     let fuel = config.fuel.unwrap_or(queries.fuel);
     let recorder = &config.recorder;
+    let retry = &config.retry;
     let mut vm = Vm::new().with_fuel(fuel);
+    // Built lazily on the first sampled record; kept separate from the
+    // primary VM so shadow runs never disturb its state.
+    let mut shadow_vm: Option<Vm> = None;
     let mut notify = vec![NOTIFY_NONE; n_q];
     let mut counts = vec![0u64; n_q];
     let mut missing = vec![0u64; n_q];
     let mut cost = 0u64;
     let mut processed = 0u64;
     let mut quarantine: Vec<QuarantineEntry> = Vec::new();
+    let mut records_retried = 0usize;
+    let mut retry_attempts = 0u64;
+    let mut records_recovered = 0usize;
     for (k, rec) in shard.iter().enumerate() {
+        if guard.is_some_and(|g| g.tripped()) {
+            // Mid-stream demotion: every worker abandons the consolidated
+            // pass at its next record; the engine reruns the whole job
+            // sequentially, so nothing produced here is kept or dropped.
+            break;
+        }
         let record = base + k;
-        notify.fill(NOTIFY_NONE);
         processed += 1;
         // The span reads the clock only when the sink is enabled, so the
         // disabled-default hot path stays timer-free.
         let _record_span = recorder.span(names::ENGINE_RECORD_NS);
-        match eval_record(&mut vm, env, rec, queries, mode, track_cost, &mut notify) {
+        let mut retries_used = 0u32;
+        // Retry loop: only transient faults re-enter; everything else (and
+        // transient faults past the budget) falls through to the policy
+        // below. `transient` rides along in the Err so the guard can skip
+        // shadowing records whose fault state is attempt-dependent.
+        let outcome = loop {
+            notify.fill(NOTIFY_NONE);
+            match eval_record(&mut vm, env, rec, queries, mode, track_cost, &mut notify) {
+                Ok(c) => break Ok(c),
+                Err((query, fault)) => {
+                    let transient =
+                        matches!(&fault, RecordFault::Vm(e) if e.is_transient());
+                    if transient && retries_used < retry.max_retries {
+                        retries_used += 1;
+                        recorder.add(names::ENGINE_RETRIES, 1);
+                        let delay = retry.backoff(record, retries_used);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        continue;
+                    }
+                    break Err((query, fault, transient));
+                }
+            }
+        };
+        if retries_used > 0 {
+            records_retried += 1;
+            retry_attempts += u64::from(retries_used);
+            if outcome.is_ok() {
+                records_recovered += 1;
+            }
+        }
+        if let Some(g) = guard {
+            // Shadow-execute the sampled record through the sequential
+            // path and compare observable behaviour: per-query broadcast
+            // decisions on success, or the fact of quarantine on failure.
+            // Records that exercised transient faults are skipped — their
+            // outcome depends on attempt counts shared with the shadow
+            // run, so a comparison would report phantom divergence.
+            let transient_involved =
+                retries_used > 0 || matches!(&outcome, Err((_, _, true)));
+            if config.guard.samples(record) && !transient_involved {
+                let _guard_span = recorder.span(names::GUARD_NS);
+                g.record_shadow();
+                recorder.add(names::GUARD_SHADOW_RUNS, 1);
+                let mut shadow_notify = vec![NOTIFY_NONE; n_q];
+                let shadow = {
+                    let svm = shadow_vm.get_or_insert_with(|| Vm::new().with_fuel(fuel));
+                    eval_record(svm, env, rec, queries, ExecMode::Many, false, &mut shadow_notify)
+                };
+                if matches!(&shadow, Err((_, RecordFault::Panic(_)))) {
+                    // Unspecified VM state after an unwind; rebuild lazily.
+                    shadow_vm = None;
+                }
+                let consolidated = match &outcome {
+                    Ok(_) => GuardObservation::from_notify(&notify),
+                    Err(_) => GuardObservation::Quarantined,
+                };
+                let sequential = match &shadow {
+                    Ok(_) => GuardObservation::from_notify(&shadow_notify),
+                    Err(_) => GuardObservation::Quarantined,
+                };
+                if consolidated != sequential {
+                    recorder.add(names::GUARD_MISMATCHES, 1);
+                    g.record_mismatch(
+                        &config.guard,
+                        GuardMismatch {
+                            record,
+                            consolidated,
+                            sequential,
+                        },
+                    );
+                }
+            }
+        }
+        match outcome {
             Ok(c) => {
                 cost += c;
                 for q in 0..n_q {
@@ -669,7 +981,7 @@ fn run_shard<E: UdfEnv>(
                     }
                 }
             }
-            Err((query, fault)) => match config.error_policy {
+            Err((query, fault, _transient)) => match config.error_policy {
                 ErrorPolicy::FailFast => {
                     return Err(match fault {
                         RecordFault::Vm(error) => EngineError::Record { record, error },
@@ -711,6 +1023,7 @@ fn run_shard<E: UdfEnv>(
                         kind,
                         detail,
                         sample,
+                        retries: retries_used,
                     });
                     if quarantine.len() > max_errors {
                         // The job is doomed to TooManyErrors; stop burning
@@ -728,6 +1041,9 @@ fn run_shard<E: UdfEnv>(
         missing,
         cost,
         quarantine,
+        records_retried,
+        retry_attempts,
+        records_recovered,
     })
 }
 

@@ -12,7 +12,11 @@
 //! * [`FaultKind::FuelBurn`] — the trigger call returns
 //!   [`FaultyEnv::burn_value`] instead of the healthy value; a UDF that
 //!   loops on the result then exhausts a suitably small step budget,
-//!   producing [`crate::compile::VmError::OutOfFuel`].
+//!   producing [`crate::compile::VmError::OutOfFuel`];
+//! * [`FaultKind::Transient`] — the trigger call fails with
+//!   [`LibError::Transient`] for the first `k` calls on that record and
+//!   succeeds afterwards, exercising the engine's retry-with-backoff path
+//!   (see [`crate::engine::RetryPolicy`]).
 //!
 //! Faults key on the *record index*, not on execution order, so `Many` and
 //! `Consolidated` runs over the same records fault identically — the
@@ -34,6 +38,13 @@ pub enum FaultKind {
     /// Return the environment's burn value (a huge loop bound) so the UDF
     /// exhausts its fuel.
     FuelBurn,
+    /// Fail the first `k` trigger calls for the record with
+    /// [`LibError::Transient`], then succeed. While a record keeps failing,
+    /// each evaluation attempt consumes exactly one trigger call (the first
+    /// failing call aborts the attempt), so `Transient(k)` models a fault
+    /// that clears after `k` retries: an engine retrying at least `k` times
+    /// recovers the record, fewer retries quarantine it.
+    Transient(u32),
 }
 
 /// Prefix of every injected panic message; panic hooks installed by
@@ -46,7 +57,7 @@ pub struct FaultPlan {
     faults: BTreeMap<usize, FaultKind>,
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -68,14 +79,32 @@ impl FaultPlan {
     }
 
     /// A seeded plan faulting `count` distinct records out of `n_records`,
-    /// cycling through the three fault kinds. The same `(seed, n_records,
-    /// count)` always yields the same plan.
+    /// cycling through the three permanent fault kinds. The same `(seed,
+    /// n_records, count)` always yields the same plan.
     pub fn seeded(seed: u64, n_records: usize, count: usize) -> FaultPlan {
+        FaultPlan::seeded_kinds(
+            seed,
+            n_records,
+            count,
+            &[FaultKind::LibError, FaultKind::Panic, FaultKind::FuelBurn],
+        )
+    }
+
+    /// Like [`FaultPlan::seeded`] but cycling through an explicit kind list
+    /// (e.g. a mix of [`FaultKind::Transient`] depths for retry tests).
+    /// Record placement depends only on `(seed, n_records, count)`, so two
+    /// plans over the same population fault the same records regardless of
+    /// which kinds they assign.
+    pub fn seeded_kinds(
+        seed: u64,
+        n_records: usize,
+        count: usize,
+        kinds: &[FaultKind],
+    ) -> FaultPlan {
         let mut plan = FaultPlan::default();
-        if n_records == 0 {
+        if n_records == 0 || kinds.is_empty() {
             return plan;
         }
-        let kinds = [FaultKind::LibError, FaultKind::Panic, FaultKind::FuelBurn];
         let mut state = seed ^ 0xa076_1d64_78bd_642f;
         let mut k = 0usize;
         while plan.faults.len() < count.min(n_records) {
@@ -124,6 +153,10 @@ pub struct FaultyEnv<E: UdfEnv> {
     plan: FaultPlan,
     trigger: Symbol,
     burn_value: i64,
+    /// Per-record count of trigger calls already failed with
+    /// [`FaultKind::Transient`]; once a record's count reaches its planned
+    /// depth the fault has "cleared" and calls pass through.
+    transient_failures: std::sync::Mutex<BTreeMap<usize, u32>>,
 }
 
 impl<E: UdfEnv> FaultyEnv<E> {
@@ -135,7 +168,18 @@ impl<E: UdfEnv> FaultyEnv<E> {
             plan,
             trigger,
             burn_value: 1_000_000_000,
+            transient_failures: std::sync::Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Forgets all transient-failure progress, as if every planned
+    /// [`FaultKind::Transient`] fault were fresh again. Call between engine
+    /// runs that reuse one environment so each run sees the same faults.
+    pub fn reset_transients(&self) {
+        self.transient_failures
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 
     /// Overrides the value returned on [`FaultKind::FuelBurn`] faults.
@@ -186,6 +230,20 @@ impl<E: UdfEnv> UdfEnv for FaultyEnv<E> {
                     panic!("{INJECTED_PANIC_MARKER} record {}", rec.0);
                 }
                 Some(FaultKind::FuelBurn) => return Ok(self.burn_value),
+                Some(FaultKind::Transient(depth)) => {
+                    let mut failed = self
+                        .transient_failures
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    let count = failed.entry(rec.0).or_insert(0);
+                    if *count < depth {
+                        *count += 1;
+                        return Err(LibError::Transient(format!(
+                            "injected transient fault on record {} ({}/{depth})",
+                            rec.0, *count
+                        )));
+                    }
+                }
                 None => {}
             }
         }
@@ -242,5 +300,45 @@ mod tests {
     fn seeded_plan_caps_at_population() {
         let p = FaultPlan::seeded(1, 3, 10);
         assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn seeded_kinds_places_records_independently_of_kinds() {
+        let a = FaultPlan::seeded(9, 500, 8);
+        let b = FaultPlan::seeded_kinds(9, 500, 8, &[FaultKind::Transient(2)]);
+        assert_eq!(a.records(), b.records());
+        assert!(b
+            .records()
+            .iter()
+            .all(|&r| b.kind(r) == Some(FaultKind::Transient(2))));
+    }
+
+    #[test]
+    fn transient_faults_clear_after_depth_failures() {
+        use crate::env::{ScalarEnv, UdfEnv};
+        let mut i = udf_lang::intern::Interner::new();
+        let probe = i.intern("probe");
+        let mut lib = udf_lang::FnLibrary::new();
+        lib.register(probe, "probe", 1, 10, |a| a[0]);
+        let env = FaultyEnv::new(
+            ScalarEnv::new(1, lib),
+            probe,
+            FaultPlan::single(4, FaultKind::Transient(2)),
+        );
+        let rec = (4usize, vec![7i64]);
+        for _ in 0..2 {
+            assert!(matches!(
+                env.call(&rec, probe, &[7]),
+                Err(LibError::Transient(_))
+            ));
+        }
+        assert_eq!(env.call(&rec, probe, &[7]), Ok(7));
+        // Other records are untouched, and a reset re-arms the fault.
+        assert_eq!(env.call(&(5, vec![1]), probe, &[1]), Ok(1));
+        env.reset_transients();
+        assert!(matches!(
+            env.call(&rec, probe, &[7]),
+            Err(LibError::Transient(_))
+        ));
     }
 }

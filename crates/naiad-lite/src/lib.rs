@@ -27,7 +27,14 @@
 //!   and accounted in a [`engine::QuarantineReport`] instead of aborting
 //!   the job;
 //! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`] /
-//!   [`fault::FaultyEnv`]) for exercising the failure model in tests.
+//!   [`fault::FaultyEnv`]) for exercising the failure model in tests;
+//! * [`guard`] — differential plan validation: a [`guard::GuardPolicy`]
+//!   shadow-executes a deterministic sample of records through the
+//!   sequential path during consolidated runs, and on divergence demotes
+//!   the job to sequential execution (self-healing) and invalidates the
+//!   cached plan. Transient library faults are additionally retried with
+//!   capped, deterministically-jittered backoff under an
+//!   [`engine::RetryPolicy`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,11 +45,15 @@ pub mod compile;
 pub mod engine;
 pub mod env;
 pub mod fault;
+pub mod guard;
 
 pub use compile::{CompileError, Compiled, Vm, DEFAULT_FUEL};
 pub use engine::{
     Engine, EngineConfig, EngineError, ErrorKind, ErrorPolicy, ExecMode, JobReport,
-    QuarantineEntry, QuarantineReport, QuerySet, QuerySetError,
+    QuarantineEntry, QuarantineReport, QuerySet, QuerySetError, RetryPolicy,
 };
 pub use env::{ScalarEnv, UdfEnv};
 pub use fault::{FaultKind, FaultPlan, FaultyEnv};
+pub use guard::{
+    GuardAction, GuardMismatch, GuardObservation, GuardPolicy, GuardReport, PlanIncident,
+};

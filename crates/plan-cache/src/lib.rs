@@ -50,6 +50,7 @@ use udf_lang::cost::{CostModel, FnCost};
 use udf_lang::intern::Interner;
 
 pub use portable::PortableProgram;
+pub use snapshot::SnapshotRecovery;
 
 /// Stable cache key: canonical program-set hash × plan-relevant options.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -174,6 +175,9 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Entries evicted by the capacity or byte budget.
     pub evictions: u64,
+    /// Entries removed by [`PlanCache::invalidate`] (e.g. a plan guard
+    /// evicting a key whose stored plan diverged at runtime).
+    pub invalidations: u64,
     /// Current entry count.
     pub entries: usize,
     /// Current approximate byte footprint.
@@ -203,6 +207,7 @@ pub struct PlanCache {
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -231,6 +236,7 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -312,8 +318,26 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries,
             bytes,
+        }
+    }
+
+    /// Removes a plan outright, returning whether it was present. Unlike an
+    /// LRU eviction this is a *correctness* removal: the plan guard calls it
+    /// when a stored plan's runtime behaviour diverged from the sequential
+    /// semantics, so the next compile of the same query set re-consolidates
+    /// instead of re-serving the poisoned entry.
+    pub fn invalidate(&self, key: PlanKey) -> bool {
+        let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
+        match shard.map.remove(&key.0) {
+            Some(e) => {
+                shard.bytes -= e.plan.bytes;
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
         }
     }
 
@@ -350,7 +374,10 @@ impl PlanCache {
     }
 
     /// Loads a snapshot written by [`PlanCache::save`] into a fresh cache
-    /// with the given configuration.
+    /// with the given configuration, failing on the first malformed entry.
+    ///
+    /// For crash recovery prefer [`PlanCache::load_recovering`], which
+    /// salvages around corrupt entries instead of erroring the whole file.
     ///
     /// # Errors
     ///
@@ -361,6 +388,31 @@ impl PlanCache {
         config: CacheConfig,
     ) -> std::io::Result<PlanCache> {
         snapshot::load(path.as_ref(), config)
+    }
+
+    /// Loads a snapshot leniently: entries whose checksum, length, or shape
+    /// does not verify are skipped and accounted in the returned
+    /// [`SnapshotRecovery`] instead of failing the load. Every recognized
+    /// entry ends up either loaded or salvaged-around
+    /// (`loaded + salvaged == total`), so a crash-truncated or bit-rotted
+    /// snapshot still warm-starts with whatever survives. Each skipped entry
+    /// increments the `cache.snapshot_salvaged` counter on `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (e.g. a missing file) only; corruption is never
+    /// an error here.
+    pub fn load_recovering(
+        path: impl AsRef<std::path::Path>,
+        config: CacheConfig,
+        recorder: &udf_obs::RecorderCell,
+    ) -> std::io::Result<(PlanCache, SnapshotRecovery)> {
+        let (cache, recovery) = snapshot::load_recovering(path.as_ref(), config)?;
+        recorder.add(
+            udf_obs::names::CACHE_SNAPSHOT_SALVAGED,
+            recovery.salvaged as u64,
+        );
+        Ok((cache, recovery))
     }
 }
 

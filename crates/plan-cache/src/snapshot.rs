@@ -5,26 +5,43 @@
 //! construction — and programs are the single-line S-expressions of
 //! [`crate::portable`], so a snapshot written by one run primes the next.
 //!
+//! Format **v2** makes snapshots crash-safe: every entry header carries the
+//! byte length of its payload and an FNV-1a 64 checksum over it, writes go
+//! through a temp file renamed into place (a crash mid-write never leaves a
+//! half-written snapshot at the target path), and
+//! [`load_recovering`] salvages around corrupt or truncated entries instead
+//! of erroring the whole file:
+//!
 //! ```text
-//! plan-cache-snapshot v1
-//! entry 00f3…9a                  # 32 hex digits: the PlanKey
-//! tier full                      # full | partial | sequential
-//! stat entailment_queries 131    # `stat <name> <u64>`; unknown names are
-//! stat rules.if3 2               # skipped on load (forward compatibility)
+//! plan-cache-snapshot v2
+//! entry 00f3…9a 113 a1b2c3d4e5f60718   # key, payload bytes, FNV-1a 64
+//! tier full                            # payload: tier | stat | program
+//! stat entailment_queries 131          # unknown stat names are skipped on
+//! stat rules.if3 2                     # load (forward compatibility)
 //! program (program 1 (params a) (skip))
 //! end
 //! ```
 //!
-//! Loading is strict about shape (missing `tier`/`program` lines, bad hex,
-//! or a malformed S-expression fail with `InvalidData`) but lenient about
-//! stat names, so adding counters never invalidates old snapshots.
+//! Strict loading ([`load`]) still accepts the checksum-free **v1** format
+//! written by earlier releases; [`save`] always writes v2.
 
 use crate::{CacheConfig, CachedPlan, PlanCache, PlanKey, PortableProgram};
 use consolidate::{ConsolidationStats, DegradationTier};
 use std::io::{self, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-const HEADER: &str = "plan-cache-snapshot v1";
+const HEADER_V1: &str = "plan-cache-snapshot v1";
+const HEADER_V2: &str = "plan-cache-snapshot v2";
+
+/// FNV-1a 64 over a byte string — the per-entry payload checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 fn stat_fields(s: &ConsolidationStats) -> Vec<(&'static str, u64)> {
     vec![
@@ -82,46 +99,264 @@ fn set_stat(s: &mut ConsolidationStats, name: &str, v: u64) {
     }
 }
 
+/// Renders one entry's payload — the `tier`/`stat`/`program` lines the
+/// header's length and checksum cover.
+fn render_payload(plan: &CachedPlan) -> String {
+    let mut payload = String::new();
+    payload.push_str(&format!("tier {}\n", plan.tier.as_str()));
+    for (name, v) in stat_fields(&plan.stats) {
+        payload.push_str(&format!("stat {name} {v}\n"));
+    }
+    payload.push_str(&format!("program {}\n", plan.program.to_sexpr()));
+    payload
+}
+
+/// Sibling temp path for the atomic write (same directory, so the final
+/// `rename` never crosses a filesystem).
+fn temp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".tmp.{}", std::process::id()));
+    PathBuf::from(os)
+}
+
 pub(crate) fn save(cache: &PlanCache, path: &Path) -> io::Result<()> {
     let mut out = String::new();
-    out.push_str(HEADER);
+    out.push_str(HEADER_V2);
     out.push('\n');
     for (key, plan) in cache.entries() {
-        out.push_str(&format!("entry {key}\n"));
-        out.push_str(&format!("tier {}\n", plan.tier.as_str()));
-        for (name, v) in stat_fields(&plan.stats) {
-            out.push_str(&format!("stat {name} {v}\n"));
-        }
-        out.push_str(&format!("program {}\n", plan.program.to_sexpr()));
+        let payload = render_payload(&plan);
+        out.push_str(&format!(
+            "entry {key} {} {:016x}\n",
+            payload.len(),
+            fnv64(payload.as_bytes())
+        ));
+        out.push_str(&payload);
         out.push_str("end\n");
     }
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(out.as_bytes())?;
-    Ok(())
+    // Atomic publish: write the full snapshot to a sibling temp file, fsync,
+    // then rename over the target. Readers see either the old snapshot or
+    // the complete new one — never a half-written file — and an I/O error on
+    // any step leaves the target untouched.
+    let tmp = temp_path(path);
+    let write_all = || -> io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(out.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write_all().inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn parse_tier(s: &str) -> io::Result<DegradationTier> {
+fn parse_tier(s: &str) -> Result<DegradationTier, String> {
     match s {
         "full" => Ok(DegradationTier::Full),
         "partial" => Ok(DegradationTier::Partial),
         "sequential" => Ok(DegradationTier::Sequential),
-        other => Err(bad(format!("unknown tier {other:?}"))),
+        other => Err(format!("unknown tier {other:?}")),
     }
 }
 
-pub(crate) fn load(path: &Path, config: CacheConfig) -> io::Result<PlanCache> {
-    let text = std::fs::read_to_string(path)?;
-    let mut lines = text.lines();
-    if lines.next() != Some(HEADER) {
-        return Err(bad("missing snapshot header"));
+/// Parses one v2 payload (the `tier`/`stat`/`program` lines) into a cached
+/// plan. Any malformed line is an error — in salvage mode the caller skips
+/// the entry, in strict mode it fails the load.
+fn parse_payload(payload: &str) -> Result<CachedPlan, String> {
+    let mut tier = None;
+    let mut stats = ConsolidationStats::default();
+    let mut program: Option<PortableProgram> = None;
+    for line in payload.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (word, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match word {
+            "tier" => tier = Some(parse_tier(rest)?),
+            "stat" => {
+                let (name, val) = rest
+                    .split_once(' ')
+                    .ok_or("stat needs a name and a value")?;
+                let v: u64 = val.parse().map_err(|_| "bad stat value".to_owned())?;
+                set_stat(&mut stats, name, v);
+            }
+            "program" => {
+                program = Some(
+                    PortableProgram::parse_sexpr(rest).map_err(|e| format!("bad program: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown payload directive {other:?}")),
+        }
     }
-    let cache = PlanCache::new(config);
-    let mut pending: Option<(PlanKey, Option<DegradationTier>, ConsolidationStats, Option<PortableProgram>)> =
-        None;
+    stats.tier = tier.ok_or("entry missing tier")?;
+    let program = program.ok_or("entry missing program")?;
+    Ok(CachedPlan::new(program, stats))
+}
+
+/// Account of a lenient snapshot load (see [`PlanCache::load_recovering`]).
+///
+/// Every entry header the loader recognizes is counted in `total` and lands
+/// in exactly one of `loaded` (verified and inserted) or `salvaged` (skipped
+/// because its payload failed the length, checksum, or shape checks), so
+/// `loaded + salvaged == total` always holds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotRecovery {
+    /// Entry headers recognized in the file.
+    pub total: usize,
+    /// Entries that verified and were inserted into the cache.
+    pub loaded: usize,
+    /// Entries skipped because they were corrupt or truncated.
+    pub salvaged: usize,
+    /// One human-readable line per skipped entry (or rejected header).
+    pub incidents: Vec<String>,
+}
+
+impl SnapshotRecovery {
+    /// `true` when nothing was skipped.
+    pub fn is_clean(&self) -> bool {
+        self.salvaged == 0 && self.incidents.is_empty()
+    }
+}
+
+/// Returns the line starting at `pos` (without its newline) and the offset
+/// just past it. Operates on raw bytes: corruption may have destroyed UTF-8
+/// validity, which must not abort a salvage pass.
+fn byte_line(bytes: &[u8], pos: usize) -> (&[u8], usize) {
+    let end = bytes[pos..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(bytes.len(), |k| pos + k);
+    let next = if end < bytes.len() { end + 1 } else { end };
+    (&bytes[pos..end], next)
+}
+
+/// One recognized v2 entry header.
+struct EntryHeader {
+    key: u128,
+    len: usize,
+    crc: u64,
+}
+
+fn parse_entry_header(line: &[u8]) -> Result<EntryHeader, String> {
+    let text = std::str::from_utf8(line).map_err(|_| "entry header is not UTF-8".to_owned())?;
+    let mut words = text.split_ascii_whitespace();
+    if words.next() != Some("entry") {
+        return Err("not an entry header".to_owned());
+    }
+    let key = words
+        .next()
+        .and_then(|w| u128::from_str_radix(w, 16).ok())
+        .ok_or("bad key hex")?;
+    let len: usize = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or("bad payload length")?;
+    let crc = words
+        .next()
+        .and_then(|w| u64::from_str_radix(w, 16).ok())
+        .ok_or("bad checksum hex")?;
+    if words.next().is_some() {
+        return Err("trailing tokens on entry header".to_owned());
+    }
+    Ok(EntryHeader { key, len, crc })
+}
+
+/// The shared v2 parser. In lenient mode every malformed entry is skipped
+/// and accounted; in strict mode (`load`) the first incident fails the load.
+fn parse_v2(bytes: &[u8], cache: &PlanCache) -> SnapshotRecovery {
+    let mut recovery = SnapshotRecovery::default();
+    // Skip the header line (the caller verified it).
+    let (_, mut pos) = byte_line(bytes, 0);
+    while pos < bytes.len() {
+        let (line, next) = byte_line(bytes, pos);
+        if !line.starts_with(b"entry ") {
+            // Blank separators, the `end` of a salvaged-over entry, or
+            // corrupt debris between entries: not an entry, not counted.
+            pos = next;
+            continue;
+        }
+        recovery.total += 1;
+        // Verify the entry in stages; the first failure salvages it: the
+        // incident is recorded, the scan resumes at `resume`, and the outer
+        // loop hunts for the next `entry ` line from there.
+        match verify_entry(bytes, line, next, cache) {
+            Ok(resume) => {
+                recovery.loaded += 1;
+                pos = resume;
+            }
+            Err((resume, msg)) => {
+                recovery.salvaged += 1;
+                recovery.incidents.push(msg);
+                pos = resume;
+            }
+        }
+    }
+    recovery
+}
+
+/// Checks one entry (header at `line`, payload starting at `payload_start`)
+/// and inserts it on success. Returns the offset to continue scanning from —
+/// past the `end` terminator on success, at the best guess for the next
+/// header on failure (with the incident message).
+fn verify_entry(
+    bytes: &[u8],
+    line: &[u8],
+    payload_start: usize,
+    cache: &PlanCache,
+) -> Result<usize, (usize, String)> {
+    let header = parse_entry_header(line)
+        .map_err(|e| (payload_start, format!("entry skipped: {e}")))?;
+    let key_text = format!("{:032x}", header.key);
+    let payload_end = payload_start.saturating_add(header.len);
+    if payload_end > bytes.len() {
+        return Err((
+            payload_start,
+            format!("entry {key_text} skipped: payload truncated"),
+        ));
+    }
+    let payload = &bytes[payload_start..payload_end];
+    // The `end` terminator must follow immediately; its absence means the
+    // declared length itself is corrupt — rescan from the payload start so a
+    // shifted `entry ` header inside it can still be found.
+    let after = &bytes[payload_end..];
+    if !(after.starts_with(b"end\n") || after == b"end") {
+        return Err((
+            payload_start,
+            format!("entry {key_text} skipped: missing end terminator"),
+        ));
+    }
+    if fnv64(payload) != header.crc {
+        return Err((
+            payload_end,
+            format!("entry {key_text} skipped: checksum mismatch"),
+        ));
+    }
+    let payload = std::str::from_utf8(payload).map_err(|_| {
+        (
+            payload_end,
+            format!("entry {key_text} skipped: payload is not UTF-8"),
+        )
+    })?;
+    let plan = parse_payload(payload)
+        .map_err(|e| (payload_end, format!("entry {key_text} skipped: {e}")))?;
+    cache.insert(PlanKey(header.key), plan);
+    Ok(payload_end + after.len().min(4))
+}
+
+/// Strict legacy parser for the checksum-free v1 format.
+fn load_v1(text: &str, cache: &PlanCache) -> io::Result<()> {
+    let mut lines = text.lines();
+    let _header = lines.next();
+    let mut pending: Option<(
+        PlanKey,
+        Option<DegradationTier>,
+        ConsolidationStats,
+        Option<PortableProgram>,
+    )> = None;
     for (n, line) in lines.enumerate() {
         let line = line.trim_end();
         if line.is_empty() {
@@ -139,7 +374,7 @@ pub(crate) fn load(path: &Path, config: CacheConfig) -> io::Result<PlanCache> {
             }
             "tier" => {
                 let p = pending.as_mut().ok_or_else(|| at("tier outside entry"))?;
-                p.1 = Some(parse_tier(rest)?);
+                p.1 = Some(parse_tier(rest).map_err(|e| at(&e))?);
             }
             "stat" => {
                 let p = pending.as_mut().ok_or_else(|| at("stat outside entry"))?;
@@ -169,7 +404,80 @@ pub(crate) fn load(path: &Path, config: CacheConfig) -> io::Result<PlanCache> {
     if pending.is_some() {
         return Err(bad("snapshot truncated inside an entry"));
     }
-    Ok(cache)
+    Ok(())
+}
+
+fn header_of(bytes: &[u8]) -> &[u8] {
+    byte_line(bytes, 0).0
+}
+
+pub(crate) fn load(path: &Path, config: CacheConfig) -> io::Result<PlanCache> {
+    let bytes = std::fs::read(path)?;
+    let cache = PlanCache::new(config);
+    match header_of(&bytes) {
+        h if h == HEADER_V2.as_bytes() => {
+            let recovery = parse_v2(&bytes, &cache);
+            match recovery.incidents.first() {
+                None => Ok(cache),
+                Some(first) => Err(bad(first.clone())),
+            }
+        }
+        h if h == HEADER_V1.as_bytes() => {
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|_| bad("v1 snapshot is not valid UTF-8"))?;
+            load_v1(text, &cache)?;
+            Ok(cache)
+        }
+        _ => Err(bad("missing snapshot header")),
+    }
+}
+
+pub(crate) fn load_recovering(
+    path: &Path,
+    config: CacheConfig,
+) -> io::Result<(PlanCache, SnapshotRecovery)> {
+    let bytes = std::fs::read(path)?;
+    let cache = PlanCache::new(config);
+    match header_of(&bytes) {
+        h if h == HEADER_V2.as_bytes() => {
+            let recovery = parse_v2(&bytes, &cache);
+            Ok((cache, recovery))
+        }
+        h if h == HEADER_V1.as_bytes() => {
+            // Legacy snapshots have no per-entry checksums to salvage with;
+            // parse strictly and degrade to an empty cache on failure.
+            let strict = std::str::from_utf8(&bytes)
+                .map_err(|_| "v1 snapshot is not valid UTF-8".to_owned())
+                .and_then(|text| load_v1(text, &cache).map_err(|e| e.to_string()));
+            match strict {
+                Ok(()) => {
+                    let n = cache.len();
+                    Ok((
+                        cache,
+                        SnapshotRecovery {
+                            total: n,
+                            loaded: n,
+                            ..SnapshotRecovery::default()
+                        },
+                    ))
+                }
+                Err(e) => Ok((
+                    PlanCache::new(config),
+                    SnapshotRecovery {
+                        incidents: vec![format!("v1 snapshot unreadable, starting cold: {e}")],
+                        ..SnapshotRecovery::default()
+                    },
+                )),
+            }
+        }
+        _ => Ok((
+            cache,
+            SnapshotRecovery {
+                incidents: vec!["unrecognized snapshot header, starting cold".to_owned()],
+                ..SnapshotRecovery::default()
+            },
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +518,18 @@ mod tests {
         cache
     }
 
+    fn assert_same_entries(a: &PlanCache, b: &PlanCache) {
+        let a = a.entries();
+        let b = b.entries();
+        assert_eq!(a.len(), b.len());
+        for ((ka, pa), (kb, pb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert_eq!(pa.program, pb.program);
+            assert_eq!(pa.stats, pb.stats);
+            assert_eq!(pa.tier, pb.tier);
+        }
+    }
+
     #[test]
     fn save_load_roundtrip() {
         let dir = std::env::temp_dir().join("plan-cache-test-roundtrip");
@@ -218,15 +538,61 @@ mod tests {
         let cache = sample_cache();
         cache.save(&path).unwrap();
         let loaded = PlanCache::load(&path, CacheConfig::default()).unwrap();
-        let a = cache.entries();
-        let b = loaded.entries();
-        assert_eq!(a.len(), b.len());
-        for ((ka, pa), (kb, pb)) in a.iter().zip(&b) {
-            assert_eq!(ka, kb);
-            assert_eq!(pa.program, pb.program);
-            assert_eq!(pa.stats, pb.stats);
-            assert_eq!(pa.tier, pb.tier);
-        }
+        assert_same_entries(&cache, &loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let dir = std::env::temp_dir().join("plan-cache-test-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        sample_cache().save(&path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_to_unwritable_path_errors_without_touching_target() {
+        let dir = std::env::temp_dir().join("plan-cache-test-nodir");
+        std::fs::remove_dir_all(&dir).ok();
+        // Parent directory does not exist: create/rename must fail and no
+        // partial file may appear anywhere under it.
+        let path = dir.join("snap.txt");
+        assert!(sample_cache().save(&path).is_err());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn load_accepts_legacy_v1_snapshots() {
+        let dir = std::env::temp_dir().join("plan-cache-test-v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        std::fs::write(
+            &path,
+            "plan-cache-snapshot v1\n\
+             entry 2a\n\
+             tier full\n\
+             stat rules.if3 5\n\
+             program (program 1 (params a) (skip))\n\
+             end\n",
+        )
+        .unwrap();
+        let loaded = PlanCache::load(&path, CacheConfig::default()).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let (cache, recovery) = PlanCache::load_recovering(
+            &path,
+            CacheConfig::default(),
+            &udf_obs::RecorderCell::noop(),
+        )
+        .unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!((recovery.total, recovery.loaded, recovery.salvaged), (1, 1, 0));
         std::fs::remove_file(&path).ok();
     }
 
@@ -242,6 +608,10 @@ mod tests {
                 "plan-cache-snapshot v1\nentry 00\nprogram (program 1 (params) (skip))\nend\n",
             ),
             ("truncated", "plan-cache-snapshot v1\nentry 00\ntier full\n"),
+            (
+                "v2-bad-crc",
+                "plan-cache-snapshot v2\nentry 2a 34 0000000000000000\ntier full\nprogram (program 1 (params) (skip))\nend\n",
+            ),
         ];
         for (name, text) in cases {
             let path = dir.join(name);
@@ -259,15 +629,17 @@ mod tests {
         let dir = std::env::temp_dir().join("plan-cache-test-forward");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snap.txt");
+        let payload = "tier full\n\
+                       stat rules.if3 5\n\
+                       stat some.future.counter 9\n\
+                       program (program 1 (params a) (skip))\n";
         std::fs::write(
             &path,
-            "plan-cache-snapshot v1\n\
-             entry 2a\n\
-             tier full\n\
-             stat rules.if3 5\n\
-             stat some.future.counter 9\n\
-             program (program 1 (params a) (skip))\n\
-             end\n",
+            format!(
+                "plan-cache-snapshot v2\nentry 2a {} {:016x}\n{payload}end\n",
+                payload.len(),
+                fnv64(payload.as_bytes())
+            ),
         )
         .unwrap();
         let loaded = PlanCache::load(&path, CacheConfig::default()).unwrap();
@@ -275,6 +647,77 @@ mod tests {
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].0, PlanKey(0x2a));
         assert_eq!(entries[0].1.stats.rules.if3, 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_skips_corrupt_entries_and_keeps_the_rest() {
+        let dir = std::env::temp_dir().join("plan-cache-test-salvage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        let cache = PlanCache::default();
+        for id in 0..4u32 {
+            cache.insert(
+                PlanKey(u128::from(id) + 1),
+                CachedPlan::new(
+                    PortableProgram {
+                        id,
+                        params: vec!["x".to_owned()],
+                        body: PStmt::Notify(id, true),
+                    },
+                    ConsolidationStats::default(),
+                ),
+            );
+        }
+        cache.save(&path).unwrap();
+        // Flip one payload byte of the second entry: its checksum breaks,
+        // the other three must still load.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let needle = b"(program 1 ";
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("second entry present");
+        bytes[at + 9] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let recorder = udf_obs::RecorderCell::memory();
+        let (loaded, recovery) =
+            PlanCache::load_recovering(&path, CacheConfig::default(), &recorder).unwrap();
+        assert_eq!((recovery.total, recovery.loaded, recovery.salvaged), (4, 3, 1));
+        assert_eq!(loaded.len(), 3);
+        assert!(recovery.incidents[0].contains("checksum mismatch"), "{recovery:?}");
+        assert_eq!(
+            recorder
+                .snapshot()
+                .unwrap()
+                .counter(udf_obs::names::CACHE_SNAPSHOT_SALVAGED),
+            1
+        );
+        // Strict load refuses the same file.
+        assert!(PlanCache::load(&path, CacheConfig::default()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_tolerates_truncation() {
+        let dir = std::env::temp_dir().join("plan-cache-test-truncate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        let cache = sample_cache();
+        cache.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the file mid-payload: the sole entry is unloadable, but the
+        // load still succeeds with an accounted salvage.
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let (loaded, recovery) = PlanCache::load_recovering(
+            &path,
+            CacheConfig::default(),
+            &udf_obs::RecorderCell::noop(),
+        )
+        .unwrap();
+        assert_eq!(loaded.len(), 0);
+        assert_eq!((recovery.total, recovery.loaded, recovery.salvaged), (1, 0, 1));
         std::fs::remove_file(&path).ok();
     }
 }

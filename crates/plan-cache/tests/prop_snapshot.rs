@@ -1,7 +1,13 @@
-//! Property: snapshots round-trip. `save` followed by `load` reproduces
-//! every entry — key, tier, statistics, and program — bit-for-bit, for
-//! arbitrary portable programs (including the `$`/`%` names consolidation
-//! manufactures, which the concrete syntax cannot express).
+//! Properties of the snapshot codec:
+//!
+//! * round-trip — `save` followed by `load` reproduces every entry (key,
+//!   tier, statistics, program) bit-for-bit, for arbitrary portable
+//!   programs (including the `$`/`%` names consolidation manufactures,
+//!   which the concrete syntax cannot express);
+//! * crash safety — a snapshot put through arbitrary truncation and
+//!   bit-flip corruption still loads via `load_recovering` without panics
+//!   or errors, and the recovery accounting always satisfies
+//!   `loaded + salvaged == total`.
 
 use plan_cache::portable::{PBool, PInt, PStmt};
 use plan_cache::{CacheConfig, CachedPlan, PlanCache, PlanKey, PortableProgram};
@@ -156,6 +162,66 @@ proptest! {
             prop_assert_eq!(&pa.program, &pb.program);
             prop_assert_eq!(pa.stats, pb.stats);
             prop_assert_eq!(pa.tier, pb.tier);
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshots_always_salvage(
+        entries in prop::collection::vec((key(), program(), stats()), 0..5),
+        truncate in (any::<bool>(), any::<u64>()),
+        flips in prop::collection::vec((any::<u64>(), 0u32..8), 0..6),
+    ) {
+        let dir = std::env::temp_dir().join("plan-cache-prop-corrupt");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("snap-{}.txt", CASE.fetch_add(1, Ordering::Relaxed)));
+
+        let cache = PlanCache::default();
+        for (key, prog, st) in &entries {
+            cache.insert(PlanKey(*key), CachedPlan::new(prog.clone(), *st));
+        }
+        cache.save(&path).expect("save");
+
+        // Simulate a crash (truncation at an arbitrary point) and/or bit
+        // rot (flips at arbitrary offsets) over the raw snapshot bytes.
+        let mut bytes = std::fs::read(&path).expect("read snapshot");
+        let pristine_len = bytes.len();
+        if truncate.0 {
+            bytes.truncate((truncate.1 as usize) % (pristine_len + 1));
+        }
+        for (off, bit) in &flips {
+            if !bytes.is_empty() {
+                let i = (*off as usize) % bytes.len();
+                bytes[i] ^= 1u8 << bit;
+            }
+        }
+        let untouched = bytes.len() == pristine_len && flips.is_empty();
+        std::fs::write(&path, &bytes).expect("rewrite corrupted snapshot");
+
+        let recorder = udf_obs::RecorderCell::memory();
+        let loaded = PlanCache::load_recovering(&path, CacheConfig::default(), &recorder);
+        std::fs::remove_file(&path).ok();
+
+        // Corruption is never an I/O error, never a panic.
+        let (salvaged_cache, recovery) = loaded.expect("lenient load always succeeds");
+        prop_assert_eq!(recovery.loaded + recovery.salvaged, recovery.total);
+        // One incident per skipped entry, plus possibly one for a rejected
+        // file header (which is not an entry and salvages nothing).
+        prop_assert!(recovery.incidents.len() >= recovery.salvaged);
+        prop_assert!(recovery.incidents.len() <= recovery.salvaged + 1);
+        prop_assert_eq!(
+            recorder
+                .snapshot()
+                .expect("memory recorder snapshots")
+                .counter(udf_obs::names::CACHE_SNAPSHOT_SALVAGED),
+            recovery.salvaged as u64
+        );
+        // Inserts can collapse duplicate keys but never exceed the loads.
+        prop_assert!(salvaged_cache.len() <= recovery.loaded);
+        // And when the corruption happened to be a no-op, nothing may be
+        // lost: the salvage path must not reject healthy data.
+        if untouched {
+            prop_assert_eq!(recovery.salvaged, 0);
+            prop_assert_eq!(salvaged_cache.len(), cache.len());
         }
     }
 }

@@ -3,14 +3,23 @@
 //! domain, 50 queries per family.
 //!
 //! ```text
-//! cargo run -p udf-bench --release --bin figure9 -- [domain|all] [--fast] [--queries N] [--seed S] [--metrics] [--explain]
+//! cargo run -p udf-bench --release --bin figure9 -- [domain|all] [--fast] [--queries N] [--seed S] [--metrics] [--guard] [--explain]
 //! ```
 //!
 //! `--metrics` installs an in-memory [`udf_obs`] recorder shared by the Ω
 //! engine, the entailment layer, the SMT solver, and the dataflow engine,
 //! prints the JSON snapshot after the sweep, and cross-checks the recorder
 //! counters against the summed [`consolidate::ConsolidationStats`] (they
-//! must agree — both are incremented at the same sites).
+//! must agree — both are incremented at the same sites). It also appends a
+//! small guarded-execution demo (audited healthy plan, corrupted plan that
+//! demotes, transient faults that retry, snapshot corruption that salvages)
+//! so the guard/retry/salvage metric names are populated and cross-checked
+//! the same way.
+//!
+//! `--guard` additionally runs the benchmark sweep itself under a
+//! `LogOnly` plan guard auditing every record — the shadow/mismatch columns
+//! then report real differential-validation work (and must show zero
+//! mismatches: Theorem 1 holds).
 //!
 //! `--explain` skips the benchmark and instead consolidates a small worked
 //! pair of flight-style queries with derivation tracing on, printing the
@@ -25,7 +34,7 @@
 //! consolidation time stays far below execution time.
 
 use consolidate::Options;
-use udf_bench::{format_row, header, run_domain, Scale};
+use udf_bench::{format_row, header, Scale};
 use udf_data::DomainKind;
 
 fn main() {
@@ -34,12 +43,14 @@ fn main() {
     let mut scale = Scale::full();
     let mut seed = 42u64;
     let mut metrics = false;
+    let mut guard = false;
     let mut explain = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => scale = Scale::fast(),
             "--metrics" => metrics = true,
+            "--guard" => guard = true,
             "--explain" => explain = true,
             "--queries" => {
                 scale.queries = it
@@ -79,12 +90,29 @@ fn main() {
     if metrics {
         opts.recorder = udf_obs::RecorderCell::memory();
     }
+    // `--guard`: audit the whole sweep through the sequential path without
+    // changing any output (LogOnly). Theorem 1 says zero mismatches.
+    let guard_policy = if guard {
+        naiad_lite::GuardPolicy {
+            on_mismatch: naiad_lite::GuardAction::LogOnly,
+            ..naiad_lite::GuardPolicy::audit_all()
+        }
+    } else {
+        naiad_lite::GuardPolicy::default()
+    };
     println!("Figure 9 — speedup of where_consolidated over where_many");
     println!("(queries per family: {}, passes: {}, seed {seed})", scale.queries, scale.passes);
     println!("{}", header());
     let mut runs = Vec::new();
     for d in domains {
-        for r in run_domain(d, scale, seed, &opts) {
+        for r in udf_bench::run_domain_guarded(
+            d,
+            scale,
+            seed,
+            &opts,
+            guard_policy,
+            naiad_lite::RetryPolicy::default(),
+        ) {
             println!("{}", format_row(&r));
             runs.push(r);
         }
@@ -131,20 +159,35 @@ fn main() {
         }
     }
 
-    // `--metrics`: dump the shared recorder and cross-check it against the
-    // summed per-family stats. The recorder and the stats are incremented at
-    // the same sites, so any drift here is a bug in the instrumentation.
+    // `--metrics`: exercise the guarded-execution machinery (the sweep's
+    // healthy plans never trip it), then dump the shared recorder and
+    // cross-check it against the summed per-family stats and the demo's
+    // job reports. The recorder and the stats are incremented at the same
+    // sites, so any drift here is a bug in the instrumentation.
+    let demo = metrics.then(|| run_guard_demo(&opts.recorder));
     if let Some(snap) = opts.recorder.snapshot() {
         println!("--- metrics snapshot (udf-obs) ---");
         println!("{}", snap.to_json());
         let checks: u64 = runs.iter().map(|r| r.stats.solver.checks).sum();
         let memo: u64 = runs.iter().map(|r| r.stats.memo_hits).sum();
         let pairs: u64 = runs.iter().map(|r| r.stats.pairs_consolidated).sum();
+        let demo = demo.unwrap_or_default();
+        let shadow = demo.shadow_runs + runs.iter().map(|r| r.shadow_runs).sum::<u64>();
+        let mismatches =
+            demo.mismatches + runs.iter().map(|r| r.guard_mismatches).sum::<u64>();
+        let demotions =
+            demo.demotions + runs.iter().map(|r| r.guard_demotions).sum::<u64>();
+        let retries = demo.retries + runs.iter().map(|r| r.retries).sum::<u64>();
         let mut coherent = true;
         for (name, stat) in [
             (udf_obs::names::SMT_CHECKS, checks),
             (udf_obs::names::ENTAIL_MEMO_HITS, memo),
             (udf_obs::names::PAIRS, pairs),
+            (udf_obs::names::GUARD_SHADOW_RUNS, shadow),
+            (udf_obs::names::GUARD_MISMATCHES, mismatches),
+            (udf_obs::names::GUARD_DEMOTIONS, demotions),
+            (udf_obs::names::ENGINE_RETRIES, retries),
+            (udf_obs::names::CACHE_SNAPSHOT_SALVAGED, demo.salvaged),
         ] {
             let rec = snap.counter(name);
             let ok = rec == stat;
@@ -154,10 +197,184 @@ fn main() {
                 if ok { "ok" } else { "MISMATCH" }
             );
         }
+        // The guard span histogram must have timed exactly one shadow run
+        // per sample.
+        let guard_ns = snap
+            .histogram(udf_obs::names::GUARD_NS)
+            .map_or(0, |h| h.count);
+        let ok = guard_ns == shadow;
+        coherent &= ok;
+        println!(
+            "coherence: {:<28} recorder={guard_ns:>8} stats={shadow:>8} {}",
+            udf_obs::names::GUARD_NS,
+            if ok { "ok" } else { "MISMATCH" }
+        );
         if !coherent {
             std::process::exit(1);
         }
     }
+}
+
+/// Report-side totals of the guarded-execution demo, used to cross-check
+/// the recorder counters.
+#[derive(Default)]
+struct GuardDemo {
+    shadow_runs: u64,
+    mismatches: u64,
+    demotions: u64,
+    retries: u64,
+    salvaged: u64,
+}
+
+/// Exercises every guarded-execution metric once, against `recorder`:
+/// a fully audited healthy plan (shadow runs, zero mismatches), a corrupted
+/// plan that trips the guard and demotes (mismatches + demotion + cache
+/// eviction), transient faults drained by retry, and a bit-flipped snapshot
+/// salvaged on load. Prints a short transcript and returns the totals
+/// according to the job reports.
+fn run_guard_demo(recorder: &udf_obs::RecorderCell) -> GuardDemo {
+    use naiad_lite::engine::{EngineConfig, QuerySet};
+    use naiad_lite::{
+        fault, Engine, ErrorPolicy, ExecMode, GuardPolicy, RetryPolicy, ScalarEnv,
+    };
+    use std::sync::Arc;
+
+    println!("--- guarded-execution demo ---");
+    let mut demo = GuardDemo::default();
+    let mut interner = udf_lang::intern::Interner::new();
+    let probe = interner.intern("probe");
+    let mut lib = udf_lang::FnLibrary::new();
+    lib.register(probe, "probe", 1, 20, |a| a[0]);
+    let programs: Vec<udf_lang::ast::Program> = (0..3u32)
+        .map(|k| {
+            udf_lang::parse::parse_program(
+                &format!(
+                    "program g{k} @{k} (v) {{ p := probe(v); if (p > {}) {{ notify true; }} else {{ notify false; }} }}",
+                    k * 16
+                ),
+                &mut interner,
+            )
+            .expect("demo program parses")
+        })
+        .collect();
+    let cm = udf_lang::cost::CostModel::default();
+    let opts = consolidate::Options::default();
+    let cache = Arc::new(plan_cache::PlanCache::default());
+    let (queries, _, _) = QuerySet::compile_consolidated_cached(
+        &programs,
+        &mut interner,
+        &cm,
+        &lib,
+        &|f| udf_lang::library::Library::cost(&lib, f),
+        &opts,
+        false,
+        &cache,
+    )
+    .expect("demo consolidates");
+    let records: Vec<Vec<i64>> = (0..64i64).map(|v| vec![v]).collect();
+    let env = ScalarEnv::new(1, lib);
+    let engine = |guard: GuardPolicy, retry: RetryPolicy| {
+        Engine::new(2).with_config(EngineConfig {
+            error_policy: ErrorPolicy::Quarantine { max_errors: 64 },
+            guard,
+            retry,
+            plan_cache: Some(Arc::clone(&cache)),
+            recorder: recorder.clone(),
+            ..EngineConfig::default()
+        })
+    };
+
+    // 1. Healthy plan under full audit: shadow work, no divergence.
+    let audited = engine(GuardPolicy::audit_all(), RetryPolicy::default())
+        .run(&env, &records, &queries, ExecMode::Consolidated, false)
+        .expect("audited healthy run");
+    let g = audited.guard.expect("guard report");
+    demo.shadow_runs += g.shadow_runs;
+    demo.mismatches += g.mismatches;
+    println!("healthy audit : {} shadow runs, {} mismatches", g.shadow_runs, g.mismatches);
+
+    // 2. Corrupted plan: flip one Notify instruction; the guard detects the
+    // divergence, demotes to sequential, and evicts the cached plan.
+    let mut corrupted = queries.clone();
+    let compiled = corrupted.consolidated.as_mut().expect("demo plan");
+    for op in &mut compiled.ops {
+        if let naiad_lite::compile::Op::Notify { value, .. } = op {
+            *value = !*value;
+            break;
+        }
+    }
+    let healed = engine(GuardPolicy::audit_all(), RetryPolicy::default())
+        .run(&env, &records, &corrupted, ExecMode::Consolidated, false)
+        .expect("demotion self-heals");
+    let g = healed.guard.expect("guard report");
+    demo.shadow_runs += g.shadow_runs;
+    demo.mismatches += g.mismatches;
+    demo.demotions += u64::from(g.demoted);
+    println!(
+        "corrupted plan: {} mismatches, demoted={}, cache evictions={}",
+        g.mismatches,
+        g.demoted,
+        cache.stats().invalidations
+    );
+
+    // 3. Transient faults drained by retry (no quarantine).
+    let mut plan = fault::FaultPlan::none();
+    for r in [5usize, 23, 41] {
+        plan.insert(r, fault::FaultKind::Transient(2));
+    }
+    let mut interner2 = udf_lang::intern::Interner::new();
+    let probe2 = interner2.intern("probe");
+    let mut lib2 = udf_lang::FnLibrary::new();
+    lib2.register(probe2, "probe", 1, 20, |a| a[0]);
+    let faulty = fault::FaultyEnv::new(ScalarEnv::new(1, lib2), probe2, plan);
+    let indexed = fault::FaultyEnv::<ScalarEnv>::index_records(records.iter().cloned());
+    let retried = engine(GuardPolicy::default(), RetryPolicy::immediate(3))
+        .run(&faulty, &indexed, &queries, ExecMode::Many, false)
+        .expect("transients drain");
+    demo.retries += retried.quarantine.retry_attempts;
+    println!(
+        "transients    : {} retries, {} records recovered, {} quarantined",
+        retried.quarantine.retry_attempts,
+        retried.quarantine.records_recovered,
+        retried.quarantine.records_quarantined
+    );
+
+    // 4. Snapshot a cache, flip one payload byte, salvage on load.
+    let cache2 = plan_cache::PlanCache::default();
+    let (_, _, _) = QuerySet::compile_consolidated_cached(
+        &programs,
+        &mut interner,
+        &cm,
+        &udf_lang::cost::UniformFnCost(20),
+        &|_| 20,
+        &opts,
+        false,
+        &cache2,
+    )
+    .expect("demo reconsolidates");
+    let path = std::env::temp_dir().join(format!("figure9-demo-{}.snap", std::process::id()));
+    let recovery = cache2
+        .save(&path)
+        .and_then(|()| {
+            let mut bytes = std::fs::read(&path)?;
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&path, bytes)?;
+            let (_, recovery) = plan_cache::PlanCache::load_recovering(
+                &path,
+                plan_cache::CacheConfig::default(),
+                recorder,
+            )?;
+            Ok(recovery)
+        })
+        .expect("snapshot demo round-trips");
+    let _ = std::fs::remove_file(&path);
+    demo.salvaged += recovery.salvaged as u64;
+    println!(
+        "snapshot      : {} entries, {} loaded, {} salvaged",
+        recovery.total, recovery.loaded, recovery.salvaged
+    );
+    demo
 }
 
 /// Worked example for `--explain`: two flight-style standing queries that

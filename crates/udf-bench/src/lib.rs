@@ -69,6 +69,17 @@ pub struct FamilyRun {
     /// [`Options::explain`](consolidate::Options) was set and the plan was
     /// consolidated fresh (cache hits carry no derivation).
     pub explain: Option<consolidate::ExplainReport>,
+    /// Shadow (sequential) re-executions performed by the plan guard across
+    /// all passes — 0 unless a [`naiad_lite::GuardPolicy`] was active.
+    pub shadow_runs: u64,
+    /// Consolidated-vs-sequential divergences the guard observed.
+    pub guard_mismatches: u64,
+    /// Passes whose consolidated run was demoted to sequential execution by
+    /// the guard (self-healing fallback).
+    pub guard_demotions: u64,
+    /// Transient-fault retry attempts spent across all passes and both
+    /// modes — 0 unless a [`naiad_lite::RetryPolicy`] was active.
+    pub retries: u64,
 }
 
 impl FamilyRun {
@@ -138,6 +149,41 @@ pub fn run_family_cached<E: UdfEnv>(
     passes: usize,
     cache: Option<&plan_cache::PlanCache>,
 ) -> FamilyRun {
+    run_family_guarded(
+        domain,
+        family,
+        env,
+        records,
+        programs,
+        interner,
+        workers,
+        opts,
+        passes,
+        cache,
+        naiad_lite::GuardPolicy::default(),
+        naiad_lite::RetryPolicy::default(),
+    )
+}
+
+/// Like [`run_family_cached`] but with an explicit plan-guard and
+/// transient-retry configuration on the execution engine; the guard/retry
+/// counters land in the returned [`FamilyRun`] columns. The defaults (both
+/// disabled) make this exactly [`run_family_cached`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_family_guarded<E: UdfEnv>(
+    domain: &str,
+    family: &str,
+    env: &E,
+    records: &[E::Rec],
+    programs: Vec<Program>,
+    interner: &mut Interner,
+    workers: usize,
+    opts: &Options,
+    passes: usize,
+    cache: Option<&plan_cache::PlanCache>,
+    guard: naiad_lite::GuardPolicy,
+    retry: naiad_lite::RetryPolicy,
+) -> FamilyRun {
     let cm = CostModel::default();
     let n_queries = programs.len();
     let source_size: usize = programs.iter().map(Program::size).sum();
@@ -180,11 +226,17 @@ pub fn run_family_cached<E: UdfEnv>(
         .with_error_policy(naiad_lite::ErrorPolicy::Quarantine {
             max_errors: usize::MAX,
         })
+        .with_guard(guard)
+        .with_retry(retry)
         .with_recorder(opts.recorder.clone());
     let mut many_udf = Duration::ZERO;
     let mut cons_udf = Duration::ZERO;
     let mut outputs_agree = true;
     let mut quarantined = 0usize;
+    let mut shadow_runs = 0u64;
+    let mut guard_mismatches = 0u64;
+    let mut guard_demotions = 0u64;
+    let mut retries = 0u64;
     let mut first = None;
     for _ in 0..passes.max(1) {
         let many = engine
@@ -195,6 +247,12 @@ pub fn run_family_cached<E: UdfEnv>(
             .expect("where_consolidated runs");
         many_udf += many.udf_time;
         cons_udf += cons.udf_time;
+        if let Some(g) = &cons.guard {
+            shadow_runs += g.shadow_runs;
+            guard_mismatches += g.mismatches;
+            guard_demotions += u64::from(g.demoted);
+        }
+        retries += many.quarantine.retry_attempts + cons.quarantine.retry_attempts;
         // Parity must hold on the surviving records, so the two modes must
         // also have quarantined the same records.
         outputs_agree &= many.counts == cons.counts
@@ -226,6 +284,10 @@ pub fn run_family_cached<E: UdfEnv>(
         merged_text: udf_lang::pretty::program(&merged.program, interner),
         plan_outcome,
         explain: merged.explain,
+        shadow_runs,
+        guard_mismatches,
+        guard_demotions,
+        retries,
     }
 }
 
@@ -275,6 +337,26 @@ impl Scale {
 /// Runs every family of `domain` at the given scale, returning one
 /// [`FamilyRun`] per family.
 pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -> Vec<FamilyRun> {
+    run_domain_guarded(
+        domain,
+        scale,
+        seed,
+        opts,
+        naiad_lite::GuardPolicy::default(),
+        naiad_lite::RetryPolicy::default(),
+    )
+}
+
+/// Like [`run_domain`] but running every family under the given plan-guard
+/// and transient-retry configuration (see [`run_family_guarded`]).
+pub fn run_domain_guarded(
+    domain: DomainKind,
+    scale: Scale,
+    seed: u64,
+    opts: &Options,
+    guard: naiad_lite::GuardPolicy,
+    retry: naiad_lite::RetryPolicy,
+) -> Vec<FamilyRun> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
@@ -287,9 +369,9 @@ pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -
                 udf_data::weather::dataset_sized(scale.n(udf_data::weather::DEFAULT_CITIES), seed);
             for fam in udf_data::weather::families() {
                 let programs = (fam.build)(scale.queries, seed, &mut interner);
-                out.push(run_family_passes(
+                out.push(run_family_guarded(
                     "weather", fam.label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes,
+                    scale.passes, None, guard, retry,
                 ));
             }
         }
@@ -299,9 +381,9 @@ pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -
             let (env, records) = udf_data::flight::dataset_sized(per_pair, &mut interner, seed);
             for fam in udf_data::flight::families() {
                 let programs = (fam.build)(scale.queries, seed, &mut interner);
-                out.push(run_family_passes(
+                out.push(run_family_guarded(
                     "flight", fam.label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes,
+                    scale.passes, None, guard, retry,
                 ));
             }
         }
@@ -312,9 +394,9 @@ pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -
                 udf_data::news::dataset_sized(scale.n(udf_data::news::DEFAULT_ARTICLES), seed);
             for fam in udf_data::news::families() {
                 let programs = (fam.build)(scale.queries, seed, &mut interner);
-                out.push(run_family_passes(
+                out.push(run_family_guarded(
                     "news", fam.label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes,
+                    scale.passes, None, guard, retry,
                 ));
             }
         }
@@ -325,9 +407,9 @@ pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -
                 udf_data::twitter::dataset_sized(scale.n(udf_data::twitter::DEFAULT_TWEETS), seed);
             for fam in udf_data::twitter::families() {
                 let programs = (fam.build)(scale.queries, seed, &mut interner);
-                out.push(run_family_passes(
+                out.push(run_family_guarded(
                     "twitter", fam.label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes,
+                    scale.passes, None, guard, retry,
                 ));
             }
         }
@@ -346,9 +428,9 @@ pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -
             );
             for (label, build) in udf_data::stock::families_sized(days as i64) {
                 let programs = build(scale.queries, seed, &mut interner);
-                out.push(run_family_passes(
+                out.push(run_family_guarded(
                     "stock", label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes,
+                    scale.passes, None, guard, retry,
                 ));
             }
         }
@@ -359,7 +441,7 @@ pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -
 /// Formats a [`FamilyRun`] table row.
 pub fn format_row(r: &FamilyRun) -> String {
     format!(
-        "{:<8} {:<4} {:>4} {:>9} {:>10.2}x {:>10.2}x {:>12.3}s {:>8} {:>8} {:>7} {:>8} {:>6} {:>6}",
+        "{:<8} {:<4} {:>4} {:>9} {:>10.2}x {:>10.2}x {:>12.3}s {:>8} {:>8} {:>7} {:>8} {:>6} {:>6} {:>7} {:>5} {:>5} {:>5}",
         r.domain,
         r.family,
         r.n_queries,
@@ -373,14 +455,18 @@ pub fn format_row(r: &FamilyRun) -> String {
         r.stats.solver.checks,
         r.stats.memo_hits,
         r.quarantined,
+        r.shadow_runs,
+        r.guard_mismatches,
+        r.guard_demotions,
+        r.retries,
     )
 }
 
 /// Table header matching [`format_row`].
 pub fn header() -> String {
     format!(
-        "{:<8} {:<4} {:>4} {:>9} {:>11} {:>11} {:>13} {:>8} {:>8} {:>7} {:>8} {:>6} {:>6}",
+        "{:<8} {:<4} {:>4} {:>9} {:>11} {:>11} {:>13} {:>8} {:>8} {:>7} {:>8} {:>6} {:>6} {:>7} {:>5} {:>5} {:>5}",
         "domain", "fam", "n", "records", "udf-spdup", "tot-spdup", "consolid.", "agree", "size",
-        "tier", "smt-chk", "memo", "q'tine"
+        "tier", "smt-chk", "memo", "q'tine", "shadow", "g-mis", "demot", "retry"
     )
 }

@@ -33,6 +33,11 @@ pub enum LibError {
         /// Number of arguments supplied.
         got: usize,
     },
+    /// The call failed for a reason expected to clear on its own (an I/O
+    /// hiccup, a momentarily unavailable backend). Engines may retry the
+    /// record before quarantining it; every other [`LibError`] is permanent
+    /// and retrying would only repeat the failure.
+    Transient(String),
 }
 
 impl fmt::Display for LibError {
@@ -47,6 +52,7 @@ impl fmt::Display for LibError {
                 f,
                 "external function `{name}` expects {expected} argument(s), got {got}"
             ),
+            LibError::Transient(detail) => write!(f, "transient library failure: {detail}"),
         }
     }
 }

@@ -104,6 +104,25 @@ pub const ENGINE_QUARANTINED_LIB: &str = "engine.quarantined.lib";
 pub const ENGINE_QUARANTINED_OUT_OF_FUEL: &str = "engine.quarantined.out_of_fuel";
 /// Counter: records quarantined by a caught UDF panic.
 pub const ENGINE_QUARANTINED_PANIC: &str = "engine.quarantined.panic";
+/// Counter: retry attempts made on transiently-faulting records before
+/// quarantine (primary execution path only; guard shadow runs retry
+/// silently).
+pub const ENGINE_RETRIES: &str = "engine.retries";
+/// Counter: records shadow-executed through the sequential `Many` path by
+/// the plan guard for cross-validation against the consolidated plan.
+pub const GUARD_SHADOW_RUNS: &str = "guard.shadow_runs";
+/// Counter: shadowed records whose sequential outputs or quarantine
+/// decision diverged from the consolidated plan.
+pub const GUARD_MISMATCHES: &str = "guard.mismatches";
+/// Counter: jobs demoted to sequential execution after the guard's
+/// mismatch threshold was breached.
+pub const GUARD_DEMOTIONS: &str = "guard.demotions";
+/// Histogram (ns): wall-clock latency of one guard shadow run (the
+/// sequential re-evaluation plus the comparison).
+pub const GUARD_NS: &str = "engine.guard_ns";
+/// Counter: snapshot entries skipped by salvage-on-load because their
+/// payload was corrupt or truncated.
+pub const CACHE_SNAPSHOT_SALVAGED: &str = "cache.snapshot_salvaged";
 /// Counter: plan-cache lookups served as-is.
 pub const PLAN_CACHE_HIT: &str = "plan_cache.hit";
 /// Counter: plan-cache misses (fresh consolidation stored).

@@ -102,6 +102,16 @@ fn harness(n_queries: u32, plan: FaultPlan) -> Harness {
 /// healthy record (≤ ~100 spin iterations per query) never comes close.
 const TEST_FUEL: u64 = 50_000;
 
+/// Folds the `CHAOS_SEED` environment variable (see `ci/chaos.sh`) into a
+/// base seed, so the whole matrix can be swept across seed families while
+/// staying fully reproducible within one run.
+fn chaos(seed: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => seed ^ s.trim().parse::<u64>().unwrap_or(0),
+        Err(_) => seed,
+    }
+}
+
 fn quarantine_engine() -> Engine {
     Engine::new(4)
         .with_error_policy(ErrorPolicy::Quarantine { max_errors: 64 })
@@ -111,7 +121,7 @@ fn quarantine_engine() -> Engine {
 #[test]
 fn quarantine_hits_exactly_the_faulted_records_in_both_modes() {
     silence_injected_panics();
-    let plan = FaultPlan::seeded(0xfa01, 200, 12);
+    let plan = FaultPlan::seeded(chaos(0xfa01), 200, 12);
     let expected = plan.records();
     let h = harness(4, plan.clone());
     let baseline = harness(4, FaultPlan::none());
@@ -133,7 +143,7 @@ fn quarantine_hits_exactly_the_faulted_records_in_both_modes() {
         for e in &run.quarantine.entries {
             let planned = plan.kind(e.record).expect("entry must be planned");
             let expected_kind = match planned {
-                FaultKind::LibError => ErrorKind::Lib,
+                FaultKind::LibError | FaultKind::Transient(_) => ErrorKind::Lib,
                 FaultKind::Panic => ErrorKind::Panic,
                 FaultKind::FuelBurn => ErrorKind::OutOfFuel,
             };
@@ -162,7 +172,7 @@ fn quarantine_hits_exactly_the_faulted_records_in_both_modes() {
 #[test]
 fn many_and_consolidated_agree_on_survivors() {
     silence_injected_panics();
-    let h = harness(5, FaultPlan::seeded(0xfa02, 200, 15));
+    let h = harness(5, FaultPlan::seeded(chaos(0xfa02), 200, 15));
     let engine = quarantine_engine();
     let many = engine
         .run(&h.env, &h.records, &h.queries, ExecMode::Many, true)
@@ -209,7 +219,7 @@ fn fail_fast_policy_reports_the_first_fault() {
 #[test]
 fn max_errors_bounds_error_floods() {
     silence_injected_panics();
-    let h = harness(2, FaultPlan::seeded(0xfa03, 200, 40));
+    let h = harness(2, FaultPlan::seeded(chaos(0xfa03), 200, 40));
     let engine = Engine::new(4)
         .with_error_policy(ErrorPolicy::Quarantine { max_errors: 5 })
         .with_fuel(TEST_FUEL);
@@ -228,7 +238,7 @@ fn max_errors_bounds_error_floods() {
 #[test]
 fn sample_payloads_are_capped_and_correct() {
     silence_injected_panics();
-    let plan = FaultPlan::seeded(0xfa04, 200, 10);
+    let plan = FaultPlan::seeded(chaos(0xfa04), 200, 10);
     let h = harness(2, plan);
     let engine = Engine::new(1)
         .with_config(naiad_lite::EngineConfig {
@@ -253,6 +263,44 @@ fn sample_payloads_are_capped_and_correct() {
             Some(&[e.record as i64][..]),
             "sample must be the record's scalar args"
         );
+    }
+}
+
+#[test]
+fn quarantine_report_is_identical_across_worker_counts() {
+    // Regression: payload samples used to be capped per *shard*, so which
+    // entries carried samples depended on the worker count. The report —
+    // entries, ordering, samples, and retry accounting — must now be a pure
+    // function of the input.
+    silence_injected_panics();
+    let plan = FaultPlan::seeded(chaos(0xfa05), 200, 12);
+    let mut baseline: Option<(naiad_lite::QuarantineReport, Vec<u64>)> = None;
+    for workers in [1usize, 2, 8] {
+        let h = harness(3, plan.clone());
+        let run = Engine::new(workers)
+            .with_error_policy(ErrorPolicy::Quarantine { max_errors: 64 })
+            .with_fuel(TEST_FUEL)
+            .run(&h.env, &h.records, &h.queries, ExecMode::Many, false)
+            .expect("quarantine absorbs the faults");
+        assert!(
+            run.quarantine
+                .entries
+                .iter()
+                .filter(|e| e.sample.is_some())
+                .count()
+                <= 8,
+            "default payload-sample cap"
+        );
+        match &baseline {
+            None => baseline = Some((run.quarantine, run.counts)),
+            Some((q, c)) => {
+                assert_eq!(
+                    &run.quarantine, q,
+                    "quarantine report must not depend on worker count ({workers} workers)"
+                );
+                assert_eq!(&run.counts, c, "{workers} workers");
+            }
+        }
     }
 }
 

@@ -19,11 +19,22 @@ cd "$(dirname "$0")/.."
 SEEDS="${CHAOS_SEEDS:-0 1 7438951 18446744073709551615 305419896}"
 
 # Build once so per-seed runs are test-only.
-cargo test -q --no-run --test fault_matrix --test guard_matrix
+cargo test -q --no-run --test fault_matrix --test guard_matrix --test churn_matrix
 
 for seed in $SEEDS; do
     echo "chaos: seed family $seed"
     CHAOS_SEED="$seed" cargo test -q --test fault_matrix --test guard_matrix
+done
+
+# Service-churn phase: a seeded schedule of batch submissions, per-tenant
+# register/deregister ops and epochs against udf-serve, interleaved with
+# Transient/LibError/Panic faults. The suite asserts the zero-silent-drop
+# invariant (admitted == processed + shed + queued) after every epoch and
+# replays each schedule in-process to check determinism; the sweep varies
+# the fault pattern per seed family.
+for seed in $SEEDS; do
+    echo "chaos: service churn, seed family $seed"
+    CHAOS_SEED="$seed" cargo test -q --test churn_matrix
 done
 
 echo "chaos: determinism cross-check (two runs, same seed)"
@@ -35,7 +46,7 @@ trap 'rm -f "$first" "$second"' EXIT
 # nondeterministic part of the harness output. Nondeterminism inside any
 # single test still shows up as a failure or a diff.
 normalized_run() {
-    CHAOS_SEED=7438951 cargo test -q --test fault_matrix --test guard_matrix \
+    CHAOS_SEED=7438951 cargo test -q --test fault_matrix --test guard_matrix --test churn_matrix \
         -- --test-threads=1 2>&1 | sed 's/finished in [0-9.]*s//'
 }
 normalized_run >"$first"

@@ -2,7 +2,8 @@
 # Lint gate for the whole workspace, in two tiers.
 #
 # The fail-soft layers — naiad-lite (engine, quarantine, fault injection),
-# consolidate (budgeted consolidation), plan-cache (shared plan store), and
+# consolidate (budgeted consolidation), plan-cache (shared plan store),
+# udf-serve (the long-lived service: a panic drops every tenant), and
 # udf-obs (instrumentation must never panic the host) — must not unwrap in
 # production code: faults are data here, not bugs. For them
 # clippy::unwrap_used is denied on top of all default warnings; integration
@@ -11,7 +12,7 @@
 # -D warnings.
 set -eu
 cd "$(dirname "$0")/.."
-cargo clippy -p naiad-lite -p consolidate -p plan-cache -p udf-obs --all-targets --no-deps -- \
+cargo clippy -p naiad-lite -p consolidate -p plan-cache -p udf-serve -p udf-obs --all-targets --no-deps -- \
     -D warnings -D clippy::unwrap_used
 cargo clippy -p udf-lang -p udf-smt -p udf-data -p udf-bench --all-targets --no-deps -- \
     -D warnings

@@ -10,4 +10,4 @@ cd "$(dirname "$0")/.."
 # gate — list the workspace's own crates explicitly.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --document-private-items \
     -p udf-lang -p udf-smt -p udf-obs -p consolidate -p plan-cache \
-    -p naiad-lite -p udf-data -p udf-bench
+    -p naiad-lite -p udf-serve -p udf-data -p udf-bench

@@ -110,7 +110,9 @@ fn sequential_merge(p1: &Program, p2: &Program) -> Program {
 }
 
 /// One pair through the Ω engine, charging the shared budget when present.
-fn consolidate_pair_budgeted(
+/// `pub(crate)` so [`crate::delta`] can re-merge spine pairs under one
+/// shared per-operation budget.
+pub(crate) fn consolidate_pair_budgeted(
     p1: &Program,
     p2: &Program,
     interner: &Interner,
@@ -151,6 +153,15 @@ fn consolidate_pair_budgeted(
     }
     if let Some(m) = &opts.memo {
         cx.set_memo(Arc::clone(m));
+        // Tag every verdict this pair proves (or reuses) with the queries
+        // it serves, so a runtime demotion of one of them can drop exactly
+        // the verdicts its predicates touched.
+        let mut scope: Vec<u32> = notify_ids(&p1.body)
+            .union(&notify_ids(&p2.body))
+            .map(|id| id.0)
+            .collect();
+        scope.sort_unstable();
+        cx.set_memo_scope(scope);
     }
     let st = SymState::initial(&mut cx, &p1.params);
     let mut engine = Engine::new(&mut cx, cm, fns, opts, p1.params.iter().copied());
@@ -355,7 +366,7 @@ pub fn consolidate_many(
     })
 }
 
-fn add_stats(acc: &mut ConsolidationStats, s: &ConsolidationStats) {
+pub(crate) fn add_stats(acc: &mut ConsolidationStats, s: &ConsolidationStats) {
     let (a, r) = (&mut acc.rules, &s.rules);
     a.if_eliminated += r.if_eliminated;
     a.if3 += r.if3;

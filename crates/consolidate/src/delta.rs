@@ -1,0 +1,594 @@
+//! Delta-consolidation: incremental maintenance of a merged plan under
+//! query churn.
+//!
+//! `consolidate_many` is a batch operation: adding or removing one query
+//! means re-running the whole Ω reduction over all `n` programs. A
+//! long-lived service with live register/deregister traffic cannot afford
+//! that — the churn rate, not the query count, would dominate solver time.
+//!
+//! [`DeltaPlan`] keeps the divide-and-conquer reduction *tree* alive
+//! between operations. Leaves are the registered programs (locals renamed
+//! apart once, at registration); every internal node caches the merged
+//! program of its subtree. Adding or removing one query then re-consolidates
+//! only the **spine** — the `O(log n)` internal nodes between the touched
+//! leaf and the root — while every other subtree's merged program is reused
+//! verbatim. With a shared [`crate::memo::EntailmentMemo`] the spine pairs
+//! themselves hit memoized verdicts for the unchanged obligations, so a
+//! delta operation issues strictly fewer SMT checks than a from-scratch
+//! `consolidate_many` of the same final set (asserted by the
+//! `delta_equivalence` integration tests).
+//!
+//! # Tree shape
+//!
+//! The tree is a complete binary tree over a fixed power-of-two capacity of
+//! leaf slots, stored as an implicit array (`nodes[1]` is the root, node `k`
+//! has children `2k` and `2k+1`, leaf slot `i` lives at `cap + i`). Empty
+//! slots — never-used capacity or holes left by removals — are `None` and
+//! merge as passthrough: a node with one live child clones that child's
+//! program, with zero solver work. When the capacity is exhausted it
+//! doubles; the old tree becomes the left subtree of the new root (a pure
+//! index relabeling — no re-consolidation), and the add proceeds into the
+//! fresh right half.
+//!
+//! Merge order differs from `consolidate_many`'s (holes shift pairings),
+//! but Theorem 1 makes every order observationally equivalent: the plans
+//! notify identically on every record, which is what the engine and the
+//! service care about.
+//!
+//! # Degradation
+//!
+//! Each node carries the [`DegradationTier`] of its own merge; the plan's
+//! tier is the worst tier on the root's derivation, recomputed bottom-up.
+//! A budget-starved delta op degrades only the spine it touched, and a
+//! later [`DeltaPlan::refresh`] under a healthier budget re-merges exactly
+//! the degraded nodes (the plan-cache tier-upgrade rule, applied per node).
+
+use crate::api::{add_stats, consolidate_pair_budgeted, ConsolidateError, Consolidated,
+                 ConsolidationStats};
+use crate::budget::{BudgetState, DegradationTier};
+use crate::memo::EntailmentMemo;
+use crate::rules::Options;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use udf_lang::analysis::{notify_ids, rename_locals};
+use udf_lang::ast::{ProgId, Program};
+use udf_lang::cost::{CostModel, FnCost};
+use udf_lang::intern::Interner;
+
+/// Errors reported by delta operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A program with this notify id is already registered.
+    DuplicateId(ProgId),
+    /// No registered program has this id.
+    UnknownId(ProgId),
+    /// The program notifies an id other than (or besides) its own — the
+    /// tree relies on one leaf ↔ one notify id.
+    IdMismatch(ProgId),
+    /// The underlying pair consolidation failed.
+    Consolidate(ConsolidateError),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::DuplicateId(id) => write!(f, "query id {} already registered", id.0),
+            DeltaError::UnknownId(id) => write!(f, "no registered query with id {}", id.0),
+            DeltaError::IdMismatch(id) => write!(
+                f,
+                "program must notify exactly its own id {} (and nothing else)",
+                id.0
+            ),
+            DeltaError::Consolidate(e) => write!(f, "consolidation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<ConsolidateError> for DeltaError {
+    fn from(e: ConsolidateError) -> DeltaError {
+        DeltaError::Consolidate(e)
+    }
+}
+
+/// What one delta operation cost and produced.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaReport {
+    /// Consolidation statistics summed over the re-merged spine pairs
+    /// (solver checks here are the op's *entire* solver bill).
+    pub stats: ConsolidationStats,
+    /// Spine nodes whose two children were live and were re-consolidated.
+    pub pairs_recomputed: u64,
+    /// Spine nodes with a single live child (cloned through, no solver
+    /// work).
+    pub passthroughs: u64,
+    /// Whether the leaf capacity doubled during this op (index relabeling
+    /// only — no extra consolidation).
+    pub grew: bool,
+    /// Tier of the resulting plan (worst node on the root derivation).
+    pub tier: DegradationTier,
+}
+
+/// One registered query.
+#[derive(Debug, Clone)]
+struct Leaf {
+    id: ProgId,
+    /// The program as registered (locals *not* renamed) — what
+    /// [`DeltaPlan::programs`] returns for per-query compilation.
+    original: Program,
+}
+
+/// One cached internal merge.
+#[derive(Debug, Clone)]
+struct Node {
+    program: Program,
+    /// Worst tier in this subtree's derivation.
+    tier: DegradationTier,
+}
+
+/// A live consolidated plan supporting incremental add/remove of queries.
+///
+/// See the module docs for the data structure. All operations take the
+/// interner, cost model, function-cost oracle and [`Options`] explicitly so
+/// one plan can serve callers that thread their own; pass the *same*
+/// options across operations (the plan does not re-fingerprint them).
+#[derive(Debug)]
+pub struct DeltaPlan {
+    /// Leaf slots (index `i` ↔ node `cap + i`); `None` is a hole.
+    leaves: Vec<Option<Leaf>>,
+    /// Implicit complete binary tree; `nodes[0]` unused, `nodes[1]` root.
+    /// Leaf node `cap + i` holds the *renamed* registered program.
+    nodes: Vec<Option<Node>>,
+    /// Leaf capacity (power of two).
+    cap: usize,
+    /// Slot index by query id.
+    by_id: HashMap<ProgId, usize>,
+    /// Reusable holes, served LIFO.
+    free: Vec<usize>,
+    /// Monotone counter making every registration's rename prefix unique —
+    /// re-registering the same program gets fresh locals, keeping all live
+    /// leaves disjoint.
+    renames: u64,
+    /// Shared entailment memo: spine re-merges reuse verdicts across
+    /// operations (and with any other consolidation sharing the table).
+    memo: Arc<EntailmentMemo>,
+}
+
+impl Default for DeltaPlan {
+    fn default() -> DeltaPlan {
+        DeltaPlan::new()
+    }
+}
+
+impl DeltaPlan {
+    /// Creates an empty plan with its own [`EntailmentMemo`].
+    pub fn new() -> DeltaPlan {
+        DeltaPlan::with_memo(Arc::new(EntailmentMemo::new()))
+    }
+
+    /// Creates an empty plan sharing an existing memo table (e.g. the one a
+    /// plan cache or another plan already uses).
+    pub fn with_memo(memo: Arc<EntailmentMemo>) -> DeltaPlan {
+        DeltaPlan {
+            leaves: vec![None],
+            nodes: vec![None, None],
+            cap: 1,
+            by_id: HashMap::new(),
+            free: vec![0],
+            renames: 0,
+            memo,
+        }
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// The shared entailment memo (for scoped invalidation on demotion).
+    pub fn memo(&self) -> &Arc<EntailmentMemo> {
+        &self.memo
+    }
+
+    /// The merged program over all registered queries (`None` when empty).
+    pub fn program(&self) -> Option<&Program> {
+        self.nodes[1].as_ref().map(|n| &n.program)
+    }
+
+    /// Tier of the current plan (worst node on the root derivation;
+    /// [`DegradationTier::Full`] when empty).
+    pub fn tier(&self) -> DegradationTier {
+        self.nodes[1].as_ref().map_or(DegradationTier::Full, |n| n.tier)
+    }
+
+    /// Registered query ids in slot order — the order [`DeltaPlan::programs`]
+    /// returns and the order a consolidated engine run's notify buffer uses.
+    pub fn ids(&self) -> Vec<ProgId> {
+        self.leaves
+            .iter()
+            .filter_map(|l| l.as_ref().map(|l| l.id))
+            .collect()
+    }
+
+    /// Registered programs (as supplied, un-renamed) in slot order.
+    pub fn programs(&self) -> Vec<Program> {
+        self.leaves
+            .iter()
+            .filter_map(|l| l.as_ref().map(|l| l.original.clone()))
+            .collect()
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: ProgId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// Registers one query and re-consolidates the spine from its leaf to
+    /// the root.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::DuplicateId`] when the id is live,
+    /// [`DeltaError::IdMismatch`] when the program notifies anything but its
+    /// own id, and [`DeltaError::Consolidate`] when a spine pair fails
+    /// (parameter mismatch with the existing set).
+    pub fn add(
+        &mut self,
+        program: &Program,
+        interner: &mut Interner,
+        cm: &CostModel,
+        fns: &dyn FnCost,
+        opts: &Options,
+    ) -> Result<DeltaReport, DeltaError> {
+        if self.by_id.contains_key(&program.id) {
+            return Err(DeltaError::DuplicateId(program.id));
+        }
+        let ids = notify_ids(&program.body);
+        if ids.len() != 1 || !ids.contains(&program.id) {
+            return Err(DeltaError::IdMismatch(program.id));
+        }
+        let mut report = DeltaReport::default();
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.grow();
+                report.grew = true;
+                self.free.pop().expect("grow frees the new half")
+            }
+        };
+        let renamed = rename_locals(program, interner, &format!("d{}$", self.renames));
+        self.renames += 1;
+        self.leaves[slot] = Some(Leaf {
+            id: program.id,
+            original: program.clone(),
+        });
+        self.by_id.insert(program.id, slot);
+        self.nodes[self.cap + slot] = Some(Node {
+            program: renamed,
+            tier: DegradationTier::Full,
+        });
+        if let Err(e) = self.reconsolidate_path(self.cap + slot, interner, cm, fns, opts, &mut report)
+        {
+            // Roll the registration back so a failed add leaves the plan
+            // exactly as it was (the spine above the leaf was not touched:
+            // reconsolidation writes bottom-up and the first pair failed).
+            self.leaves[slot] = None;
+            self.by_id.remove(&program.id);
+            self.nodes[self.cap + slot] = None;
+            self.free.push(slot);
+            return Err(e.into());
+        }
+        report.tier = self.tier();
+        Ok(report)
+    }
+
+    /// Deregisters one query and re-consolidates the spine from its former
+    /// leaf to the root.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::UnknownId`] when the id is not live.
+    pub fn remove(
+        &mut self,
+        id: ProgId,
+        interner: &Interner,
+        cm: &CostModel,
+        fns: &dyn FnCost,
+        opts: &Options,
+    ) -> Result<DeltaReport, DeltaError> {
+        let slot = *self.by_id.get(&id).ok_or(DeltaError::UnknownId(id))?;
+        let mut report = DeltaReport::default();
+        self.by_id.remove(&id);
+        self.leaves[slot] = None;
+        self.nodes[self.cap + slot] = None;
+        self.free.push(slot);
+        // Removal cannot fail compatibility (survivors were compatible);
+        // surface internal errors anyway rather than panicking.
+        self.reconsolidate_path(self.cap + slot, interner, cm, fns, opts, &mut report)?;
+        report.tier = self.tier();
+        Ok(report)
+    }
+
+    /// Re-merges every node whose subtree is degraded below
+    /// [`DegradationTier::Full`] — the tier-upgrade rule applied to the
+    /// live tree. Call under a healthier budget after pressure subsides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pair-consolidation failures ([`DeltaError::Consolidate`]).
+    pub fn refresh(
+        &mut self,
+        interner: &Interner,
+        cm: &CostModel,
+        fns: &dyn FnCost,
+        opts: &Options,
+    ) -> Result<DeltaReport, DeltaError> {
+        let mut report = DeltaReport::default();
+        let budget =
+            (!opts.budget.is_unlimited()).then(|| Arc::new(BudgetState::new(&opts.budget)));
+        let opts = self.opts_with_memo(opts);
+        // Bottom-up: internal nodes in decreasing index order sit above
+        // their children, so each recompute sees already-refreshed inputs.
+        for k in (1..self.cap).rev() {
+            if self.nodes[k].as_ref().is_some_and(|n| n.tier == DegradationTier::Full) {
+                continue;
+            }
+            if self.nodes[k].is_some() {
+                self.recompute_node(k, interner, cm, fns, &opts, budget.as_ref(), &mut report)?;
+            }
+        }
+        report.tier = self.tier();
+        Ok(report)
+    }
+
+    /// Doubles the leaf capacity. The old tree's nodes keep their merged
+    /// programs under new indices (old node `k` → `k + 2^depth(k)`), so no
+    /// consolidation happens; the new right half is empty.
+    fn grow(&mut self) {
+        let old_cap = self.cap;
+        let new_cap = old_cap * 2;
+        let mut nodes: Vec<Option<Node>> = vec![None; new_cap * 2];
+        for k in 1..old_cap * 2 {
+            if let Some(n) = self.nodes[k].take() {
+                let msb = usize::BITS - 1 - k.leading_zeros();
+                nodes[k + (1usize << msb)] = Some(n);
+            }
+        }
+        // The new root's only live child is the old tree: passthrough.
+        nodes[1] = nodes[2].clone();
+        self.nodes = nodes;
+        self.cap = new_cap;
+        self.leaves.resize(new_cap, None);
+        for slot in (old_cap..new_cap).rev() {
+            self.free.push(slot);
+        }
+    }
+
+    /// Installs the plan's memo into `opts` unless the caller brought one.
+    fn opts_with_memo(&self, opts: &Options) -> Options {
+        if opts.memo.is_some() {
+            opts.clone()
+        } else {
+            Options {
+                memo: Some(Arc::clone(&self.memo)),
+                ..opts.clone()
+            }
+        }
+    }
+
+    /// Re-merges every internal node from `node`'s parent up to the root.
+    fn reconsolidate_path(
+        &mut self,
+        node: usize,
+        interner: &Interner,
+        cm: &CostModel,
+        fns: &dyn FnCost,
+        opts: &Options,
+        report: &mut DeltaReport,
+    ) -> Result<(), ConsolidateError> {
+        let budget =
+            (!opts.budget.is_unlimited()).then(|| Arc::new(BudgetState::new(&opts.budget)));
+        let opts = self.opts_with_memo(opts);
+        let mut k = node / 2;
+        while k >= 1 {
+            self.recompute_node(k, interner, cm, fns, &opts, budget.as_ref(), report)?;
+            if k == 1 {
+                break;
+            }
+            k /= 2;
+        }
+        Ok(())
+    }
+
+    /// Recomputes one internal node from its children.
+    #[allow(clippy::too_many_arguments)]
+    fn recompute_node(
+        &mut self,
+        k: usize,
+        interner: &Interner,
+        cm: &CostModel,
+        fns: &dyn FnCost,
+        opts: &Options,
+        budget: Option<&Arc<BudgetState>>,
+        report: &mut DeltaReport,
+    ) -> Result<(), ConsolidateError> {
+        let merged = match (&self.nodes[2 * k], &self.nodes[2 * k + 1]) {
+            (Some(a), Some(b)) => {
+                let Consolidated { program, stats, .. } =
+                    consolidate_pair_budgeted(&a.program, &b.program, interner, cm, fns, opts, budget)?;
+                add_stats(&mut report.stats, &stats);
+                report.pairs_recomputed += 1;
+                Some(Node {
+                    program,
+                    tier: stats.tier.max(a.tier).max(b.tier),
+                })
+            }
+            (Some(a), None) | (None, Some(a)) => {
+                report.passthroughs += 1;
+                Some(a.clone())
+            }
+            (None, None) => None,
+        };
+        self.nodes[k] = merged;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::consolidate_many;
+    use udf_lang::cost::UniformFnCost;
+    use udf_lang::parse::parse_program;
+    use udf_lang::pretty;
+
+    fn query(k: u32, interner: &mut Interner) -> Program {
+        parse_program(
+            &format!(
+                "program q{k} @{k} (v) {{ w := inc(v); if (w > {}) {{ notify true; }} else {{ notify false; }} }}",
+                k * 10
+            ),
+            interner,
+        )
+        .expect("test query parses")
+    }
+
+    #[test]
+    fn add_remove_roundtrip_tracks_membership() {
+        let mut i = Interner::new();
+        let cm = CostModel::default();
+        let fns = UniformFnCost(10);
+        let opts = Options::default();
+        let mut plan = DeltaPlan::new();
+        assert!(plan.program().is_none());
+        for k in 0..5 {
+            let q = query(k, &mut i);
+            plan.add(&q, &mut i, &cm, &fns, &opts).expect("add");
+        }
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.ids().len(), 5);
+        plan.remove(ProgId(2), &i, &cm, &fns, &opts).expect("remove");
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.contains(ProgId(2)));
+        assert!(plan.program().is_some());
+        assert_eq!(plan.tier(), DegradationTier::Full);
+        // Holes are reused.
+        let q = query(2, &mut i);
+        plan.add(&q, &mut i, &cm, &fns, &opts).expect("re-add");
+        assert_eq!(plan.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids_are_rejected() {
+        let mut i = Interner::new();
+        let cm = CostModel::default();
+        let fns = UniformFnCost(10);
+        let opts = Options::default();
+        let mut plan = DeltaPlan::new();
+        let q = query(1, &mut i);
+        plan.add(&q, &mut i, &cm, &fns, &opts).expect("add");
+        assert_eq!(
+            plan.add(&q, &mut i, &cm, &fns, &opts).map(|_| ()),
+            Err(DeltaError::DuplicateId(ProgId(1))),
+        );
+        assert_eq!(
+            plan.remove(ProgId(9), &i, &cm, &fns, &opts).map(|_| ()),
+            Err(DeltaError::UnknownId(ProgId(9))),
+        );
+    }
+
+    #[test]
+    fn failed_add_rolls_back_cleanly() {
+        let mut i = Interner::new();
+        let cm = CostModel::default();
+        let fns = UniformFnCost(10);
+        let opts = Options::default();
+        let mut plan = DeltaPlan::new();
+        plan.add(&query(0, &mut i), &mut i, &cm, &fns, &opts).expect("add");
+        let before = pretty::program(plan.program().expect("plan"), &i);
+        // Mismatched parameter list: the spine pair fails.
+        let bad = parse_program("program b @7 (x, y) { notify true; }", &mut i).expect("parses");
+        assert!(matches!(
+            plan.add(&bad, &mut i, &cm, &fns, &opts),
+            Err(DeltaError::Consolidate(ConsolidateError::ParamMismatch)),
+        ));
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.contains(ProgId(7)));
+        assert_eq!(pretty::program(plan.program().expect("plan"), &i), before);
+    }
+
+    #[test]
+    fn multi_notify_program_is_rejected() {
+        let mut i = Interner::new();
+        let cm = CostModel::default();
+        let fns = UniformFnCost(10);
+        let opts = Options::default();
+        let mut plan = DeltaPlan::new();
+        let two = parse_program(
+            "program t @3 (v) { notify @3 true; notify @4 false; }",
+            &mut i,
+        );
+        if let Ok(two) = two {
+            assert_eq!(
+                plan.add(&two, &mut i, &cm, &fns, &opts).map(|_| ()),
+                Err(DeltaError::IdMismatch(ProgId(3))),
+            );
+        }
+    }
+
+    #[test]
+    fn growth_preserves_the_registered_set() {
+        let mut i = Interner::new();
+        let cm = CostModel::default();
+        let fns = UniformFnCost(10);
+        let opts = Options::default();
+        let mut plan = DeltaPlan::new();
+        let mut grew = false;
+        for k in 0..9 {
+            let r = plan.add(&query(k, &mut i), &mut i, &cm, &fns, &opts).expect("add");
+            grew |= r.grew;
+        }
+        assert!(grew, "9 adds must outgrow the initial capacity");
+        assert_eq!(plan.len(), 9);
+        let ids: Vec<u32> = {
+            let mut v: Vec<u32> = plan.ids().iter().map(|id| id.0).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids, (0..9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn delta_plan_consolidates_like_batch_on_small_sets() {
+        // Structural sanity at the consolidation level: the delta plan's
+        // merged program applies real rewrites (not mere concatenation) —
+        // observational equivalence against `consolidate_many` is asserted
+        // end-to-end by the `delta_equivalence` integration tests.
+        let mut i = Interner::new();
+        let cm = CostModel::default();
+        let fns = UniformFnCost(10);
+        let opts = Options::default();
+        let mut plan = DeltaPlan::new();
+        let programs: Vec<Program> = (0..4).map(|k| query(k, &mut i)).collect();
+        let mut delta_checks = 0;
+        for q in &programs {
+            let r = plan.add(q, &mut i, &cm, &fns, &opts).expect("add");
+            delta_checks += r.stats.solver.checks;
+        }
+        let batch = consolidate_many(&programs, &mut i, &cm, &fns, &opts, false).expect("batch");
+        // Both paths performed real consolidation work.
+        assert!(delta_checks > 0);
+        assert!(batch.stats.solver.checks > 0);
+        // The merged program calls `inc` once per distinct argument chain —
+        // consolidation shared the common prefix in both paths.
+        let d = pretty::program(plan.program().expect("plan"), &i);
+        assert!(d.matches("inc").count() <= 4);
+    }
+}

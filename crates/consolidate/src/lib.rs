@@ -63,6 +63,7 @@
 
 pub mod api;
 pub mod budget;
+pub mod delta;
 pub mod explain;
 pub mod invariants;
 pub mod memo;
@@ -73,6 +74,7 @@ pub mod symbolic;
 pub use api::{consolidate_many, consolidate_pair, consolidate_pair_prerenamed, Consolidated,
               ConsolidateError, ConsolidationStats};
 pub use budget::{BudgetState, ConsolidationBudget, DegradationTier};
+pub use delta::{DeltaError, DeltaPlan, DeltaReport};
 pub use explain::{EntailmentEvent, EntailmentVia, ExplainEntry, ExplainNode, ExplainReport,
                   PairExplain};
 pub use memo::EntailmentMemo;

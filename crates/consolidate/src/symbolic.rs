@@ -57,6 +57,11 @@ pub struct SymbolicCtx<'i> {
     entailment_cache_hits: u64,
     budget: Option<std::sync::Arc<crate::budget::BudgetState>>,
     memo: Option<std::sync::Arc<crate::memo::EntailmentMemo>>,
+    /// Notify ids of the programs this context is consolidating; memo
+    /// verdicts stored or reused here are tagged with them so a runtime
+    /// demotion of any of those queries can invalidate the verdicts (see
+    /// [`crate::memo::EntailmentMemo::invalidate_query`]).
+    memo_scope: Vec<u32>,
     memo_hits: u64,
     recorder: RecorderCell,
     /// Entailment events since the last drain, present iff explain mode is
@@ -91,6 +96,7 @@ impl<'i> SymbolicCtx<'i> {
             entailment_cache_hits: 0,
             budget: None,
             memo: None,
+            memo_scope: Vec::new(),
             memo_hits: 0,
             recorder: RecorderCell::noop(),
             explain_log: None,
@@ -163,6 +169,14 @@ impl<'i> SymbolicCtx<'i> {
     /// reused without touching the solver or charging the budget.
     pub fn set_memo(&mut self, memo: std::sync::Arc<crate::memo::EntailmentMemo>) {
         self.memo = Some(memo);
+    }
+
+    /// Sets the memo scope: the notify ids of the programs under
+    /// consolidation. Verdicts proved or reused while the scope is set are
+    /// tagged with these ids in the shared memo, enabling per-query
+    /// invalidation on runtime demotion.
+    pub fn set_memo_scope(&mut self, scope: Vec<u32>) {
+        self.memo_scope = scope;
     }
 
     /// Number of entailments answered from the shared memo table.
@@ -305,7 +319,7 @@ impl<'i> SymbolicCtx<'i> {
                     .as_ref()
                     .map(|_| udf_smt::canon::entailment_key(&self.smt, psi, phi));
                 if let (Some(memo), Some(key)) = (&self.memo, key) {
-                    if let Some(v) = memo.lookup(key) {
+                    if let Some(v) = memo.lookup_scoped(key, &self.memo_scope) {
                         self.memo_hits += 1;
                         self.recorder.add(names::ENTAIL_MEMO_HITS, 1);
                         self.valid_cache.insert((psi, phi), v);
@@ -320,7 +334,7 @@ impl<'i> SymbolicCtx<'i> {
                 let v = self.solver.is_valid(&mut self.smt, psi, phi);
                 self.valid_cache.insert((psi, phi), v);
                 if let (Some(memo), Some(key)) = (&self.memo, key) {
-                    memo.store(key, v);
+                    memo.store_scoped(key, v, &self.memo_scope);
                 }
                 self.note_entailment(phi, v, EntailmentVia::Solver);
                 v

@@ -303,6 +303,12 @@ pub struct EngineConfig {
     /// [`QuerySet::compile_consolidated_cached`] consults it before invoking
     /// the Ω engine, and [`JobReport::plan_cache`] snapshots its counters.
     pub plan_cache: Option<std::sync::Arc<plan_cache::PlanCache>>,
+    /// The entailment memo the consolidation layer proves through, when the
+    /// caller shares one across runs. A guard trip then invalidates not just
+    /// the cached plan but every memoized verdict derived from the demoted
+    /// queries' predicates — without this, re-registering the same query set
+    /// would re-prove the poisoned plan entirely from the memo, solver-free.
+    pub entailment_memo: Option<std::sync::Arc<consolidate::EntailmentMemo>>,
     /// Metrics sink. No-op by default; install
     /// [`udf_obs::RecorderCell::memory`] to collect per-record latency,
     /// record/quarantine counters and (when the same cell is shared with
@@ -320,6 +326,7 @@ impl Default for EngineConfig {
             fuel: None,
             max_payload_samples: 8,
             plan_cache: None,
+            entailment_memo: None,
             recorder: udf_obs::RecorderCell::noop(),
         }
     }
@@ -672,8 +679,20 @@ impl Engine {
         }
     }
 
-    /// Removes the query set's plan from the attached cache, if both exist.
+    /// Removes the query set's plan from the attached cache, if both exist,
+    /// and drops every shared entailment-memo verdict derived from the
+    /// queries' predicates (see [`EngineConfig::entailment_memo`]). Returns
+    /// whether a cached plan was evicted.
     fn invalidate_plan(&self, queries: &QuerySet) -> bool {
+        if let Some(memo) = &self.config.entailment_memo {
+            let mut dropped = 0usize;
+            for id in &queries.query_ids {
+                dropped += memo.invalidate_query(id.0);
+            }
+            self.config
+                .recorder
+                .add(names::ENTAIL_MEMO_INVALIDATED, dropped as u64);
+        }
         match (&self.config.plan_cache, queries.plan_key) {
             (Some(cache), Some(key)) => cache.invalidate(key),
             _ => false,

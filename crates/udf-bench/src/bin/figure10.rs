@@ -31,12 +31,16 @@ fn main() {
     let mut seed = 42u64;
     let mut warm_cache = false;
     let mut metrics = false;
+    let mut json: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => scale = Scale::fast(),
             "--warm-cache" => warm_cache = true,
             "--metrics" => metrics = true,
+            "--json" => {
+                json = Some(it.next().expect("--json PATH").clone());
+            }
             "--seed" => {
                 seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
             }
@@ -74,6 +78,7 @@ fn main() {
         dump_metrics(&opts);
         return;
     }
+    let mut runs = Vec::new();
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14} {:>10} {:>6}",
         "nUDFs", "many-udf(s)", "many-total(s)", "cons-udf(s)", "cons-total(s)", "consolid.(s)",
@@ -106,6 +111,11 @@ fn main() {
             r.quarantined,
             if r.outputs_agree { "" } else { "  OUTPUT MISMATCH" },
         );
+        runs.push(r);
+    }
+    if let Some(path) = &json {
+        std::fs::write(path, udf_bench::family_runs_json(&runs)).expect("write --json file");
+        println!("wrote {} rows to {path}", runs.len());
     }
     println!("---");
     println!("expected shape (paper): many-* grows linearly with nUDFs; cons-udf stays");

@@ -45,6 +45,7 @@ fn main() {
     let mut metrics = false;
     let mut guard = false;
     let mut explain = false;
+    let mut json: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,6 +53,9 @@ fn main() {
             "--metrics" => metrics = true,
             "--guard" => guard = true,
             "--explain" => explain = true,
+            "--json" => {
+                json = Some(it.next().expect("--json PATH").clone());
+            }
             "--queries" => {
                 scale.queries = it
                     .next()
@@ -116,6 +120,10 @@ fn main() {
             println!("{}", format_row(&r));
             runs.push(r);
         }
+    }
+    if let Some(path) = &json {
+        std::fs::write(path, udf_bench::family_runs_json(&runs)).expect("write --json file");
+        println!("wrote {} rows to {path}", runs.len());
     }
     if runs.len() > 1 {
         let udf: Vec<f64> = runs.iter().map(|r| r.udf_speedup()).collect();

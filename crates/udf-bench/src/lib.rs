@@ -470,3 +470,48 @@ pub fn header() -> String {
         "tier", "smt-chk", "memo", "q'tine", "shadow", "g-mis", "demot", "retry"
     )
 }
+
+/// Serializes benchmark rows as a JSON array (hand-rolled — the offline
+/// workspace vendors no serde). Wall times are seconds; the schema is the
+/// stable surface behind the committed `BENCH_fig9.json` /
+/// `BENCH_fig10.json` artifacts at the repository root.
+pub fn family_runs_json(runs: &[FamilyRun]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            concat!(
+                "  {{\"domain\":\"{}\",\"family\":\"{}\",\"n_queries\":{},\"n_records\":{},",
+                "\"many_udf_s\":{:.6},\"cons_udf_s\":{:.6},\"many_total_s\":{:.6},",
+                "\"cons_total_s\":{:.6},\"consolidation_s\":{:.6},\"udf_speedup\":{:.4},",
+                "\"total_speedup\":{:.4},\"merged_size\":{},\"source_size\":{},\"tier\":\"{}\",",
+                "\"smt_checks\":{},\"memo_hits\":{},\"outputs_agree\":{},\"quarantined\":{}}}"
+            ),
+            esc(&r.domain),
+            esc(&r.family),
+            r.n_queries,
+            r.n_records,
+            r.many_udf.as_secs_f64(),
+            r.cons_udf.as_secs_f64(),
+            r.many_total.as_secs_f64(),
+            r.cons_total.as_secs_f64(),
+            r.consolidation.as_secs_f64(),
+            r.udf_speedup(),
+            r.total_speedup(),
+            r.merged_size,
+            r.source_size,
+            r.stats.tier.as_str(),
+            r.stats.solver.checks,
+            r.stats.memo_hits,
+            r.outputs_agree,
+            r.quarantined,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}

@@ -130,3 +130,33 @@ pub const PLAN_CACHE_MISS: &str = "plan_cache.miss";
 /// Counter: plan-cache hits on a degraded entry that were re-consolidated
 /// and upgraded to a better tier.
 pub const PLAN_CACHE_UPGRADE: &str = "plan_cache.upgrade";
+/// Counter: plan-cache entries removed by tag-scoped invalidation (e.g. a
+/// tenant demotion evicting every plan derived from that tenant's queries).
+pub const PLAN_CACHE_TAG_INVALIDATED: &str = "plan_cache.tag_invalidated";
+/// Counter: entailment-memo verdicts dropped because a query they were
+/// derived from was demoted or quarantined at runtime.
+pub const ENTAIL_MEMO_INVALIDATED: &str = "consolidate.entail.memo_invalidated";
+
+// ---- udf-serve: consolidation-as-a-service --------------------------------
+
+/// Counter: records admitted into the service's bounded ingest queue.
+pub const SERVE_ADMITTED: &str = "serve.admitted";
+/// Counter: records rejected at admission (queue full, tenant quarantined);
+/// rejections are explicit — the submitter is told, nothing is dropped
+/// silently.
+pub const SERVE_REJECTED: &str = "serve.rejected";
+/// Counter: admitted records shed by deadline-aware load shedding (queue
+/// pressure above the shed watermark and the batch past its deadline).
+/// Every shed record is accounted in the epoch report.
+pub const SERVE_SHED: &str = "serve.shed";
+/// Counter: records fully processed by the service (notified or accounted
+/// in quarantine). `admitted == processed + shed + still-queued` always.
+pub const SERVE_PROCESSED: &str = "serve.processed";
+/// Counter: delta-consolidation operations applied to the live plan (one
+/// per register/deregister that re-consolidated a spine).
+pub const SERVE_DELTA_RECONSOLIDATIONS: &str = "serve.delta_reconsolidations";
+/// Counter: tenants demoted out of the shared consolidated plan after their
+/// UDF tripped the plan guard or blew their quarantine budget.
+pub const SERVE_TENANT_DEMOTIONS: &str = "serve.tenant_demotions";
+/// Counter: epochs executed by the service loop.
+pub const SERVE_EPOCHS: &str = "serve.epochs";

@@ -1,0 +1,45 @@
+//! Consolidation-as-a-service.
+//!
+//! A long-lived runtime over `naiad-lite` that keeps one shared
+//! consolidated plan alive across query churn. Where the batch pipeline
+//! consolidates a fixed query set once (PLDI'14 §5, Ω over all pairs), the
+//! service must absorb *register/deregister at runtime* without paying a
+//! full re-consolidation per op — and must keep tenants isolated when one
+//! of them ships a hostile UDF.
+//!
+//! Three mechanisms, one module each:
+//!
+//! - **Delta consolidation** ([`consolidate::DeltaPlan`], driven from
+//!   [`Service::register`] / [`Service::deregister`]): the merged plan is
+//!   the root of a binary merge tree; adding or removing one query
+//!   re-consolidates only the `O(log n)` spine above its leaf, reusing
+//!   entailment verdicts from the plan's scoped memo.
+//! - **Admission control & backpressure** ([`admission`]): a bounded
+//!   ingest queue with explicit admit/reject decisions and deadline-aware
+//!   shedding; pressure watermarks defer churn and degrade execution to
+//!   the sequential reference semantics. Nothing is ever dropped silently:
+//!   `admitted == processed + shed + queued` holds after every epoch.
+//! - **Per-tenant isolation** ([`tenant`], [`Service::run_epoch`]): guard
+//!   trips and quarantine overruns are attributed to the owning tenant,
+//!   which is demoted alone — its queries leave the shared plan, its memo
+//!   verdicts and tagged plan-cache entries are invalidated, and every
+//!   other tenant's results are unchanged.
+//!
+//! The service is clocked by explicit [`Service::run_epoch`] calls, never
+//! wall time, so seeded runs are byte-reproducible (chaos CI relies on
+//! this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod admission;
+pub mod service;
+pub mod tenant;
+
+pub use admission::{Admission, RejectReason, ShedBatch};
+pub use service::{
+    Accounting, EpochMode, EpochReport, ServeConfig, ServeError, Service, ServiceStatus,
+    TenantEpochReport,
+};
+pub use tenant::{ChurnOutcome, TenantId, TenantState};

@@ -1,0 +1,956 @@
+//! The service runtime: epochs, admission, the live delta-consolidated
+//! plan, and tenant-granular failure isolation.
+
+use crate::admission::{Admission, IngestQueue, ShedBatch};
+use crate::tenant::{ChurnOp, ChurnOutcome, TenantId, TenantState};
+use consolidate::{DegradationTier, DeltaError};
+use naiad_lite::engine::{
+    Engine, EngineConfig, EngineError, ErrorPolicy, ExecMode, JobReport, QuerySet, RetryPolicy,
+};
+use naiad_lite::guard::{GuardAction, GuardObservation, GuardPolicy, PlanIncident};
+use naiad_lite::UdfEnv;
+use plan_cache::{CachedPlan, PlanCache, PlanKey, PortableProgram};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+use udf_lang::analysis::notify_ids;
+use udf_lang::ast::{ProgId, Program};
+use udf_lang::cost::{Cost, CostModel, FnCost};
+use udf_lang::intern::{Interner, Symbol};
+use udf_obs::names;
+
+/// [`FnCost`] view of a [`UdfEnv`], so delta consolidation prices library
+/// calls exactly as the engine will execute them.
+struct EnvCost<'a, E: UdfEnv>(&'a E);
+
+impl<E: UdfEnv> FnCost for EnvCost<'_, E> {
+    fn fn_cost(&self, f: Symbol) -> Cost {
+        self.0.fn_cost(f)
+    }
+}
+
+/// Service configuration. Watermarks are queue-pressure fractions
+/// (`queued records / queue_capacity`); time is measured in epochs, never
+/// wall clock, so every run with the same inputs reproduces exactly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded ingest capacity in records; submissions that would exceed it
+    /// are rejected (never silently dropped).
+    pub queue_capacity: usize,
+    /// Records processed per epoch (batches are atomic: the first queued
+    /// batch always runs, even when it alone exceeds the limit).
+    pub epoch_batch_limit: usize,
+    /// Pressure at or above which the service degrades: churn is deferred
+    /// and the epoch executes sequentially (per-tenant `Many` runs — the
+    /// reference semantics, no guard overhead, no solver work).
+    pub degrade_watermark: f64,
+    /// Pressure at or above which batches older than
+    /// [`ServeConfig::deadline_epochs`] are shed (explicitly accounted in
+    /// the epoch report).
+    pub shed_watermark: f64,
+    /// Batch age (in epochs) beyond which it is sheddable under pressure.
+    pub deadline_epochs: u64,
+    /// Plan-guard sampling for consolidated epochs. The action is forced to
+    /// [`GuardAction::FailFast`] internally: the service handles demotion
+    /// itself at tenant granularity instead of the engine's job granularity.
+    pub guard: GuardPolicy,
+    /// Transient-fault retry policy forwarded to the engine.
+    pub retry: RetryPolicy,
+    /// Quarantined records attributed to one tenant before it is demoted
+    /// out of the shared plan.
+    pub tenant_quarantine_budget: u64,
+    /// Consolidation options for delta plan surgery (its budget bounds each
+    /// register/deregister operation).
+    pub consolidation: consolidate::Options,
+    /// Shared plan cache; delta plans are stored tagged per tenant so a
+    /// demotion evicts exactly that tenant's plans.
+    pub plan_cache: Option<Arc<PlanCache>>,
+    /// Engine worker threads per epoch run.
+    pub workers: usize,
+    /// Metrics sink for the `serve.*` counters (and, shared with
+    /// `consolidation.recorder`, the whole stack's).
+    pub recorder: udf_obs::RecorderCell,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 4096,
+            epoch_batch_limit: 1024,
+            degrade_watermark: 0.75,
+            shed_watermark: 0.90,
+            deadline_epochs: 4,
+            guard: GuardPolicy::audit_all(),
+            retry: RetryPolicy::default(),
+            tenant_quarantine_budget: 16,
+            consolidation: consolidate::Options::default(),
+            plan_cache: None,
+            workers: 1,
+            recorder: udf_obs::RecorderCell::noop(),
+        }
+    }
+}
+
+/// Errors surfaced by service operations.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// A query with this id is already registered (ids are service-global).
+    DuplicateQuery(ProgId),
+    /// No registered query has this id.
+    UnknownQuery(ProgId),
+    /// The query exists but belongs to a different tenant.
+    NotOwner {
+        /// The calling tenant.
+        tenant: TenantId,
+        /// The contested query.
+        query: ProgId,
+    },
+    /// The program notifies an id other than (or besides) its own.
+    MultiNotify(ProgId),
+    /// Delta plan surgery failed (e.g. parameter mismatch with the live
+    /// set); the plan is unchanged.
+    Delta(DeltaError),
+    /// A program failed to compile for execution.
+    Compile(String),
+    /// The engine failed in a way the quarantine policy cannot absorb.
+    Engine(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::DuplicateQuery(id) => write!(f, "query id {} already registered", id.0),
+            ServeError::UnknownQuery(id) => write!(f, "no registered query with id {}", id.0),
+            ServeError::NotOwner { tenant, query } => {
+                write!(f, "{tenant} does not own query {}", query.0)
+            }
+            ServeError::MultiNotify(id) => write!(
+                f,
+                "program must notify exactly its own id {} (and nothing else)",
+                id.0
+            ),
+            ServeError::Delta(e) => write!(f, "delta consolidation: {e}"),
+            ServeError::Compile(e) => write!(f, "compile: {e}"),
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<DeltaError> for ServeError {
+    fn from(e: DeltaError) -> ServeError {
+        ServeError::Delta(e)
+    }
+}
+
+impl From<naiad_lite::CompileError> for ServeError {
+    fn from(e: naiad_lite::CompileError) -> ServeError {
+        ServeError::Compile(e.to_string())
+    }
+}
+
+/// How one epoch executed its drained records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochMode {
+    /// No records were queued.
+    Idle,
+    /// The shared consolidated plan ran (demoted tenants still ran solo).
+    Consolidated,
+    /// Every tenant ran solo and sequential: pressure at or above the
+    /// degrade watermark, an unattributable guard trip, or an empty shared
+    /// plan.
+    Sequential,
+}
+
+/// One tenant's slice of an epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantEpochReport {
+    /// Selected-record count per query id (`ProgId.0`), for every query the
+    /// tenant had registered when the epoch ran.
+    pub counts: BTreeMap<u32, u64>,
+    /// Global record sequence numbers quarantined *for this tenant* (its
+    /// own UDFs faulted on them), sorted.
+    pub quarantined: Vec<u64>,
+    /// Whether the tenant's queries ran outside the shared plan this epoch.
+    pub solo: bool,
+}
+
+/// What one [`Service::run_epoch`] call did. Every drained record is
+/// accounted here exactly once — in `processed` or inside `shed`.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// The epoch that ran (monotone from 1).
+    pub epoch: u64,
+    /// How the drained records executed.
+    pub mode: EpochMode,
+    /// Records fully processed this epoch.
+    pub processed: usize,
+    /// Batches shed by deadline-aware load shedding.
+    pub shed: Vec<ShedBatch>,
+    /// Deferred churn ops applied at this epoch's start.
+    pub applied_churn: usize,
+    /// Churn ops still deferred (pressure at or above the degrade
+    /// watermark).
+    pub deferred_churn: usize,
+    /// Deferred churn ops that failed at apply time, with their errors.
+    pub churn_errors: Vec<(TenantId, ServeError)>,
+    /// Tenants demoted out of the shared plan during this epoch.
+    pub demoted: Vec<TenantId>,
+    /// Per-tenant results.
+    pub tenants: BTreeMap<TenantId, TenantEpochReport>,
+    /// Records still queued when the epoch ended.
+    pub queued_after: usize,
+    /// Tier of the shared plan after the epoch.
+    pub plan_tier: DegradationTier,
+}
+
+/// Monotone service-lifetime record accounting. The zero-silent-drop
+/// invariant is `admitted == processed + shed + queued` — checked after
+/// every epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accounting {
+    /// Records accepted into the queue.
+    pub admitted: u64,
+    /// Records refused at admission (returned to the submitter).
+    pub rejected: u64,
+    /// Records shed after admission (reported per batch).
+    pub shed: u64,
+    /// Records fully processed.
+    pub processed: u64,
+    /// Records currently queued.
+    pub queued: u64,
+}
+
+impl Accounting {
+    /// Whether every admitted record is accounted for.
+    pub fn balanced(&self) -> bool {
+        self.admitted == self.processed + self.shed + self.queued
+    }
+}
+
+/// Point-in-time view of the service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStatus {
+    /// Epochs executed so far.
+    pub epoch: u64,
+    /// Records queued.
+    pub queued_records: usize,
+    /// Queue pressure (`queued / capacity`).
+    pub pressure: f64,
+    /// Queries in the shared consolidated plan.
+    pub plan_queries: usize,
+    /// Tier of the shared plan.
+    pub plan_tier: DegradationTier,
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Tenants demoted out of the shared plan.
+    pub demoted_tenants: usize,
+}
+
+/// A long-lived consolidation service over one dataset environment.
+///
+/// Drive it explicitly: [`Service::submit`] record batches,
+/// [`Service::register`] / [`Service::deregister`] queries per tenant, and
+/// call [`Service::run_epoch`] to make progress. Epochs — not wall-clock
+/// time — are the service's only clock, which is what makes every seeded
+/// run byte-reproducible (the chaos CI diffs two same-seed runs).
+pub struct Service<E: UdfEnv> {
+    env: E,
+    interner: Interner,
+    cm: CostModel,
+    config: ServeConfig,
+    plan: consolidate::DeltaPlan,
+    tenants: BTreeMap<TenantId, TenantState>,
+    owner: HashMap<u32, TenantId>,
+    pending_churn: VecDeque<ChurnOp>,
+    queue: IngestQueue<E::Rec>,
+    epoch: u64,
+    shared_qs: Option<QuerySet>,
+    qs_dirty: bool,
+    counters: Accounting,
+}
+
+impl<E: UdfEnv> fmt::Debug for Service<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service").field("status", &self.status()).finish()
+    }
+}
+
+impl<E: UdfEnv> Service<E> {
+    /// Creates a service over `env` with its own interner and cost model.
+    pub fn new(env: E, config: ServeConfig) -> Service<E> {
+        let queue = IngestQueue::new(config.queue_capacity);
+        Service {
+            env,
+            interner: Interner::new(),
+            cm: CostModel::default(),
+            config,
+            plan: consolidate::DeltaPlan::new(),
+            tenants: BTreeMap::new(),
+            owner: HashMap::new(),
+            pending_churn: VecDeque::new(),
+            queue,
+            epoch: 0,
+            shared_qs: None,
+            qs_dirty: false,
+            counters: Accounting::default(),
+        }
+    }
+
+    /// The interner programs submitted to this service must be parsed with.
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// The dataset environment.
+    pub fn env(&self) -> &E {
+        &self.env
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Current point-in-time view.
+    pub fn status(&self) -> ServiceStatus {
+        ServiceStatus {
+            epoch: self.epoch,
+            queued_records: self.queue.queued_records(),
+            pressure: self.queue.pressure(),
+            plan_queries: self.plan.len(),
+            plan_tier: self.plan.tier(),
+            tenants: self.tenants.len(),
+            demoted_tenants: self.tenants.values().filter(|t| t.demoted).count(),
+        }
+    }
+
+    /// Lifetime record accounting (see [`Accounting::balanced`]).
+    pub fn accounting(&self) -> Accounting {
+        Accounting {
+            queued: self.queue.queued_records() as u64,
+            ..self.counters
+        }
+    }
+
+    /// A tenant's state, if registered.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantState> {
+        self.tenants.get(&tenant)
+    }
+
+    /// Offers a record batch to the bounded ingest queue. An
+    /// [`Admission::Rejected`] batch never enters the service — the caller
+    /// keeps the records and the decision is explicit.
+    pub fn submit(&mut self, records: Vec<E::Rec>) -> Admission {
+        let n = records.len() as u64;
+        let admission = self.queue.offer(records, self.epoch);
+        match &admission {
+            Admission::Admitted { .. } => {
+                self.counters.admitted += n;
+                self.config.recorder.add(names::SERVE_ADMITTED, n);
+            }
+            Admission::Rejected { .. } => {
+                self.counters.rejected += n;
+                self.config.recorder.add(names::SERVE_REJECTED, n);
+            }
+        }
+        admission
+    }
+
+    /// Registers one query for `tenant` (created on first use). Under calm
+    /// pressure the shared plan is updated in place by a delta operation —
+    /// only the `O(log n)` spine above the new leaf re-consolidates; below
+    /// the degrade watermark nothing else is touched. Under pressure the op
+    /// is deferred to the next calm epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DuplicateQuery`] / [`ServeError::MultiNotify`] for
+    /// malformed registrations; [`ServeError::Delta`] when plan surgery
+    /// fails (the plan is rolled back); [`ServeError::Compile`] when the
+    /// program does not compile for execution.
+    pub fn register(
+        &mut self,
+        tenant: TenantId,
+        program: &Program,
+    ) -> Result<ChurnOutcome, ServeError> {
+        if self.owner.contains_key(&program.id.0) || self.pending_register(program.id).is_some() {
+            return Err(ServeError::DuplicateQuery(program.id));
+        }
+        let ids = notify_ids(&program.body);
+        if ids.len() != 1 || !ids.contains(&program.id) {
+            return Err(ServeError::MultiNotify(program.id));
+        }
+        // Compile now so malformed programs fail at the submission boundary,
+        // not inside a later epoch.
+        let fc = |f: Symbol| self.env.fn_cost(f);
+        QuerySet::compile_many(std::slice::from_ref(program), &self.cm, &fc)?;
+        if self.queue.pressure() >= self.config.degrade_watermark {
+            self.pending_churn.push_back(ChurnOp::Register {
+                tenant,
+                program: program.clone(),
+            });
+            return Ok(ChurnOutcome::Deferred);
+        }
+        self.apply_register(tenant, program)
+    }
+
+    /// Deregisters one of `tenant`'s queries. Calm epochs apply the removal
+    /// immediately (spine-only re-consolidation); under pressure it is
+    /// deferred like a registration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownQuery`] / [`ServeError::NotOwner`] for bad
+    /// handles; [`ServeError::Delta`] when plan surgery fails.
+    pub fn deregister(
+        &mut self,
+        tenant: TenantId,
+        query: ProgId,
+    ) -> Result<ChurnOutcome, ServeError> {
+        match self.owner.get(&query.0) {
+            None => {
+                // A still-deferred registration can be withdrawn before it
+                // ever reaches the plan.
+                let Some(at) = self.pending_register(query) else {
+                    return Err(ServeError::UnknownQuery(query));
+                };
+                match &self.pending_churn[at] {
+                    ChurnOp::Register { tenant: t, .. } if *t != tenant => {
+                        return Err(ServeError::NotOwner { tenant, query });
+                    }
+                    _ => {}
+                }
+                self.pending_churn.remove(at);
+                return Ok(ChurnOutcome::Cancelled);
+            }
+            Some(t) if *t != tenant => {
+                return Err(ServeError::NotOwner { tenant, query });
+            }
+            Some(_) => {}
+        }
+        if self.queue.pressure() >= self.config.degrade_watermark {
+            self.pending_churn
+                .push_back(ChurnOp::Deregister { tenant, query });
+            return Ok(ChurnOutcome::Deferred);
+        }
+        self.apply_deregister(tenant, query)
+    }
+
+    /// Position of a still-pending registration of `query`, if any.
+    fn pending_register(&self, query: ProgId) -> Option<usize> {
+        self.pending_churn.iter().position(|op| {
+            matches!(op, ChurnOp::Register { program, .. } if program.id == query)
+        })
+    }
+
+    fn apply_register(
+        &mut self,
+        tenant: TenantId,
+        program: &Program,
+    ) -> Result<ChurnOutcome, ServeError> {
+        if self.owner.contains_key(&program.id.0) {
+            // Re-checked here because deferred ops apply later.
+            return Err(ServeError::DuplicateQuery(program.id));
+        }
+        let demoted = self.tenants.get(&tenant).is_some_and(|t| t.demoted);
+        let outcome = if demoted {
+            ChurnOutcome::AppliedSolo
+        } else {
+            let report = self
+                .plan
+                .add(
+                    program,
+                    &mut self.interner,
+                    &self.cm,
+                    &EnvCost(&self.env),
+                    &self.config.consolidation,
+                )?;
+            self.config.recorder.add(names::SERVE_DELTA_RECONSOLIDATIONS, 1);
+            ChurnOutcome::Applied(Box::new(report))
+        };
+        let state = self.tenants.entry(tenant).or_insert_with(TenantState::new);
+        state.programs.push(program.clone());
+        self.owner.insert(program.id.0, tenant);
+        self.qs_dirty = true;
+        self.store_plan_in_cache();
+        Ok(outcome)
+    }
+
+    fn apply_deregister(
+        &mut self,
+        tenant: TenantId,
+        query: ProgId,
+    ) -> Result<ChurnOutcome, ServeError> {
+        match self.owner.get(&query.0) {
+            None => return Err(ServeError::UnknownQuery(query)),
+            Some(t) if *t != tenant => {
+                return Err(ServeError::NotOwner { tenant, query });
+            }
+            Some(_) => {}
+        }
+        let outcome = if self.plan.contains(query) {
+            let report = self.plan.remove(
+                query,
+                &self.interner,
+                &self.cm,
+                &EnvCost(&self.env),
+                &self.config.consolidation,
+            )?;
+            self.config.recorder.add(names::SERVE_DELTA_RECONSOLIDATIONS, 1);
+            ChurnOutcome::Applied(Box::new(report))
+        } else {
+            ChurnOutcome::AppliedSolo
+        };
+        if let Some(state) = self.tenants.get_mut(&tenant) {
+            state.programs.retain(|p| p.id != query);
+        }
+        self.owner.remove(&query.0);
+        self.qs_dirty = true;
+        self.store_plan_in_cache();
+        Ok(outcome)
+    }
+
+    /// Stores the current shared plan in the attached cache, tagged with
+    /// every owning tenant, under the tier-upgrade rule.
+    fn store_plan_in_cache(&self) {
+        let Some(cache) = &self.config.plan_cache else {
+            return;
+        };
+        let Some(merged) = self.plan.program() else {
+            return;
+        };
+        let programs = self.plan.programs();
+        let key = PlanKey::derive(&programs, &self.interner, &self.config.consolidation, &self.cm);
+        let portable = PortableProgram::from_program(merged, &self.interner);
+        let stats = consolidate::ConsolidationStats {
+            tier: self.plan.tier(),
+            ..consolidate::ConsolidationStats::default()
+        };
+        let tags: Vec<u64> = programs
+            .iter()
+            .filter_map(|p| self.owner.get(&p.id.0))
+            .map(|t| u64::from(t.0))
+            .collect();
+        cache.insert_upgrading(key, CachedPlan::new(portable, stats), &tags);
+    }
+
+    /// Removes `tenant`'s queries from the shared plan (delta removals),
+    /// drops every entailment-memo verdict their predicates touched, and
+    /// evicts the tenant's tagged plan-cache entries. Only this tenant's
+    /// artifacts are invalidated — other tenants keep their plans, verdicts,
+    /// and tiers.
+    fn demote_tenant(&mut self, tenant: TenantId) -> Result<(), ServeError> {
+        let ids = match self.tenants.get(&tenant) {
+            Some(t) if !t.demoted => t.query_ids(),
+            _ => return Ok(()),
+        };
+        let mut memo_dropped = 0usize;
+        for id in ids {
+            if self.plan.contains(id) {
+                self.plan.remove(
+                    id,
+                    &self.interner,
+                    &self.cm,
+                    &EnvCost(&self.env),
+                    &self.config.consolidation,
+                )?;
+                self.config.recorder.add(names::SERVE_DELTA_RECONSOLIDATIONS, 1);
+            }
+            memo_dropped += self.plan.memo().invalidate_query(id.0);
+        }
+        self.config
+            .recorder
+            .add(names::ENTAIL_MEMO_INVALIDATED, memo_dropped as u64);
+        if let Some(cache) = &self.config.plan_cache {
+            let evicted = cache.invalidate_tag(u64::from(tenant.0));
+            self.config
+                .recorder
+                .add(names::PLAN_CACHE_TAG_INVALIDATED, evicted as u64);
+        }
+        if let Some(state) = self.tenants.get_mut(&tenant) {
+            state.demoted = true;
+        }
+        self.config.recorder.add(names::SERVE_TENANT_DEMOTIONS, 1);
+        self.qs_dirty = true;
+        self.store_plan_in_cache();
+        Ok(())
+    }
+
+    /// Engine for one run. The quarantine ceiling is effectively unbounded:
+    /// the service's own tenant budgets decide demotion, and a job abort
+    /// would turn per-record faults into lost records.
+    fn engine(&self, guard: GuardPolicy) -> Engine {
+        Engine::new(self.config.workers).with_config(EngineConfig {
+            error_policy: ErrorPolicy::Quarantine {
+                max_errors: usize::MAX / 2,
+            },
+            retry: self.config.retry,
+            guard,
+            fuel: None,
+            max_payload_samples: 0,
+            plan_cache: self.config.plan_cache.clone(),
+            entailment_memo: Some(Arc::clone(self.plan.memo())),
+            recorder: self.config.recorder.clone(),
+        })
+    }
+
+    /// Rebuilds the shared query set from the plan when dirty.
+    fn rebuild_shared(&mut self) -> Result<(), ServeError> {
+        if !self.qs_dirty {
+            return Ok(());
+        }
+        let programs = self.plan.programs();
+        let merged = self.plan.program().cloned();
+        self.shared_qs = match (programs.is_empty(), merged) {
+            (false, Some(merged)) => {
+                let fc = |f: Symbol| self.env.fn_cost(f);
+                Some(
+                    QuerySet::compile_many(&programs, &self.cm, &fc)?
+                        .with_consolidated(&merged, &self.cm, &fc, Duration::ZERO)?,
+                )
+            }
+            _ => None,
+        };
+        self.qs_dirty = false;
+        Ok(())
+    }
+
+    /// Compiles one tenant's programs for solo (sequential) execution.
+    fn solo_queryset(&self, state: &TenantState) -> Result<QuerySet, ServeError> {
+        let fc = |f: Symbol| self.env.fn_cost(f);
+        Ok(QuerySet::compile_many(&state.programs, &self.cm, &fc)?)
+    }
+
+    /// Runs one tenant solo over `records`, merging counts and per-tenant
+    /// quarantine into `out`.
+    fn run_solo(
+        &self,
+        state: &TenantState,
+        records: &[E::Rec],
+        seqs: &[u64],
+        out: &mut TenantEpochReport,
+    ) -> Result<(), ServeError> {
+        if state.programs.is_empty() {
+            return Ok(());
+        }
+        let qs = self.solo_queryset(state)?;
+        let engine = self.engine(GuardPolicy::default());
+        let job = engine
+            .run(&self.env, records, &qs, ExecMode::Many, false)
+            .map_err(|e| ServeError::Engine(e.to_string()))?;
+        for (idx, pid) in qs.query_ids.iter().enumerate() {
+            *out.counts.entry(pid.0).or_insert(0) += job.counts[idx];
+        }
+        for entry in &job.quarantine.entries {
+            out.quarantined.push(seqs[entry.record]);
+        }
+        Ok(())
+    }
+
+    /// Distributes a consolidated run's results per tenant. Quarantined
+    /// records (the consolidated program evaluates all queries at once, so
+    /// the engine cannot attribute them) are re-run per tenant solo: each
+    /// tenant's outcome on those records then depends only on its own
+    /// queries — one tenant's faulting UDF never erases another tenant's
+    /// notifications.
+    fn distribute_consolidated(
+        &self,
+        job: &JobReport,
+        query_ids: &[ProgId],
+        records: &[E::Rec],
+        seqs: &[u64],
+        out: &mut BTreeMap<TenantId, TenantEpochReport>,
+    ) -> Result<(), ServeError> {
+        for (idx, pid) in query_ids.iter().enumerate() {
+            if let Some(t) = self.owner.get(&pid.0) {
+                if let Some(rep) = out.get_mut(t) {
+                    rep.counts.insert(pid.0, job.counts[idx]);
+                }
+            }
+        }
+        for rec in job.quarantine.records() {
+            for (tenant, state) in &self.tenants {
+                if state.demoted || state.programs.is_empty() {
+                    continue; // demoted tenants run solo over the whole batch
+                }
+                if let Some(rep) = out.get_mut(tenant) {
+                    self.run_solo(
+                        state,
+                        &records[rec..=rec],
+                        &seqs[rec..=rec],
+                        rep,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps a guard incident to the tenants whose UDFs caused it.
+    ///
+    /// Broadcast-side divergences name the query index directly. Fault-side
+    /// divergences (one path quarantined) are attributed by re-running each
+    /// tenant's queries solo on the divergent record: tenants whose own
+    /// UDFs fault there are the culprits. An empty result means the
+    /// incident could not be pinned on anyone — the caller then degrades
+    /// the whole epoch to sequential execution instead of demoting blindly.
+    fn attribute(
+        &self,
+        incident: &PlanIncident,
+        records: &[E::Rec],
+        query_ids: &[ProgId],
+    ) -> BTreeSet<TenantId> {
+        let mut culprits = BTreeSet::new();
+        for m in &incident.examples {
+            match (&m.consolidated, &m.sequential) {
+                (GuardObservation::Notified(a), GuardObservation::Notified(b)) => {
+                    for i in 0..a.len().min(b.len()) {
+                        if a[i] != b[i] {
+                            if let Some(pid) = query_ids.get(i) {
+                                if let Some(t) = self.owner.get(&pid.0) {
+                                    culprits.insert(*t);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let Some(rec) = records.get(m.record) else {
+                        continue;
+                    };
+                    for (tenant, state) in &self.tenants {
+                        if state.demoted || state.programs.is_empty() {
+                            continue;
+                        }
+                        let Ok(qs) = self.solo_queryset(state) else {
+                            continue;
+                        };
+                        let engine = self.engine(GuardPolicy::default());
+                        if let Ok(job) = engine.run(
+                            &self.env,
+                            std::slice::from_ref(rec),
+                            &qs,
+                            ExecMode::Many,
+                            false,
+                        ) {
+                            if job.quarantine.records_quarantined > 0 {
+                                culprits.insert(*tenant);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        culprits
+    }
+
+    /// Executes one epoch: apply (or defer) churn, shed expired batches
+    /// under pressure, drain up to the epoch limit, and run the drained
+    /// records — consolidated when calm, per-tenant sequential when
+    /// pressured or when the shared plan cannot be trusted this epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/engine failures; per-record faults and guard
+    /// trips are absorbed (quarantine accounting, tenant demotion) rather
+    /// than erroring.
+    pub fn run_epoch(&mut self) -> Result<EpochReport, ServeError> {
+        self.epoch += 1;
+        self.config.recorder.add(names::SERVE_EPOCHS, 1);
+        let pressure = self.queue.pressure();
+        let mut report = EpochReport {
+            epoch: self.epoch,
+            mode: EpochMode::Idle,
+            processed: 0,
+            shed: Vec::new(),
+            applied_churn: 0,
+            deferred_churn: 0,
+            churn_errors: Vec::new(),
+            demoted: Vec::new(),
+            tenants: BTreeMap::new(),
+            queued_after: 0,
+            plan_tier: self.plan.tier(),
+        };
+        if pressure < self.config.degrade_watermark {
+            while let Some(op) = self.pending_churn.pop_front() {
+                let (tenant, result) = match op {
+                    ChurnOp::Register { tenant, program } => {
+                        (tenant, self.apply_register(tenant, &program).map(|_| ()))
+                    }
+                    ChurnOp::Deregister { tenant, query } => {
+                        (tenant, self.apply_deregister(tenant, query).map(|_| ()))
+                    }
+                };
+                match result {
+                    Ok(()) => report.applied_churn += 1,
+                    Err(e) => report.churn_errors.push((tenant, e)),
+                }
+            }
+        } else {
+            report.deferred_churn = self.pending_churn.len();
+        }
+        if pressure >= self.config.shed_watermark {
+            for (shed, records) in self
+                .queue
+                .shed_expired(self.epoch, self.config.deadline_epochs)
+            {
+                self.counters.shed += records.len() as u64;
+                self.config
+                    .recorder
+                    .add(names::SERVE_SHED, records.len() as u64);
+                report.shed.push(shed);
+                drop(records);
+            }
+        }
+        let batches = self.queue.drain_up_to(self.config.epoch_batch_limit);
+        let mut records: Vec<E::Rec> = Vec::new();
+        let mut seqs: Vec<u64> = Vec::new();
+        for b in batches {
+            let start = b.start_seq;
+            for (i, r) in b.records.into_iter().enumerate() {
+                seqs.push(start + i as u64);
+                records.push(r);
+            }
+        }
+        if records.is_empty() {
+            report.queued_after = self.queue.queued_records();
+            report.plan_tier = self.plan.tier();
+            debug_assert!(self.accounting().balanced());
+            return Ok(report);
+        }
+        // Seed every owning tenant's report with zeroed counts so the shape
+        // is identical whichever path fills it.
+        for (tenant, state) in &self.tenants {
+            if state.programs.is_empty() {
+                continue;
+            }
+            let mut rep = TenantEpochReport {
+                solo: state.demoted,
+                ..TenantEpochReport::default()
+            };
+            for p in &state.programs {
+                rep.counts.insert(p.id.0, 0);
+            }
+            report.tenants.insert(*tenant, rep);
+        }
+        let mut sequential_epoch = pressure >= self.config.degrade_watermark;
+        let mut consolidated_ran = false;
+        if !sequential_epoch {
+            // Consolidated attempt loop: a guard trip demotes the culprit
+            // tenants and retries with the reduced plan. Bounded by the
+            // tenant count; an unattributable trip degrades the epoch.
+            loop {
+                if self.plan.is_empty() {
+                    break;
+                }
+                self.rebuild_shared()?;
+                let Some(query_ids) = self.shared_qs.as_ref().map(|q| q.query_ids.clone())
+                else {
+                    break;
+                };
+                let guard = GuardPolicy {
+                    on_mismatch: GuardAction::FailFast,
+                    ..self.config.guard
+                };
+                let engine = self.engine(guard);
+                let outcome = {
+                    let Some(qs) = self.shared_qs.as_ref() else {
+                        break;
+                    };
+                    engine.run(&self.env, &records, qs, ExecMode::Consolidated, false)
+                };
+                match outcome {
+                    Ok(job) => {
+                        self.distribute_consolidated(
+                            &job,
+                            &query_ids,
+                            &records,
+                            &seqs,
+                            &mut report.tenants,
+                        )?;
+                        consolidated_ran = true;
+                        break;
+                    }
+                    Err(EngineError::GuardTripped { incident }) => {
+                        let culprits = self.attribute(&incident, &records, &query_ids);
+                        if culprits.is_empty() {
+                            sequential_epoch = true;
+                            break;
+                        }
+                        for t in culprits {
+                            self.demote_tenant(t)?;
+                            report.demoted.push(t);
+                            if let Some(rep) = report.tenants.get_mut(&t) {
+                                rep.solo = true;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Fail-soft: fall back to the reference semantics
+                        // rather than losing the epoch's records.
+                        report
+                            .churn_errors
+                            .push((TenantId(u32::MAX), ServeError::Engine(e.to_string())));
+                        sequential_epoch = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // Solo passes: demoted tenants always; every tenant when the epoch
+        // degraded to sequential.
+        for (tenant, state) in &self.tenants {
+            if state.programs.is_empty() {
+                continue;
+            }
+            let in_shared = !state.demoted && consolidated_ran;
+            if in_shared && !sequential_epoch {
+                continue;
+            }
+            if let Some(rep) = report.tenants.get_mut(tenant) {
+                rep.solo = true;
+                self.run_solo(state, &records, &seqs, rep)?;
+            }
+        }
+        // Tenant quarantine budgets: demote over-budget tenants so the next
+        // epoch's shared plan excludes them.
+        let mut over_budget: Vec<TenantId> = Vec::new();
+        for (tenant, rep) in &mut report.tenants {
+            rep.quarantined.sort_unstable();
+            rep.quarantined.dedup();
+            if let Some(state) = self.tenants.get_mut(tenant) {
+                state.quarantined_records += rep.quarantined.len() as u64;
+                if !state.demoted
+                    && state.quarantined_records > self.config.tenant_quarantine_budget
+                {
+                    over_budget.push(*tenant);
+                }
+            }
+        }
+        for t in over_budget {
+            self.demote_tenant(t)?;
+            report.demoted.push(t);
+        }
+        report.mode = if consolidated_ran && !sequential_epoch {
+            EpochMode::Consolidated
+        } else {
+            EpochMode::Sequential
+        };
+        report.processed = records.len();
+        self.counters.processed += records.len() as u64;
+        self.config
+            .recorder
+            .add(names::SERVE_PROCESSED, records.len() as u64);
+        report.queued_after = self.queue.queued_records();
+        report.plan_tier = self.plan.tier();
+        debug_assert!(
+            self.accounting().balanced(),
+            "zero-silent-drop invariant violated: {:?}",
+            self.accounting()
+        );
+        Ok(report)
+    }
+}

@@ -1,0 +1,274 @@
+//! Service-level behaviour: admission control and shedding are explicit,
+//! churn defers under pressure, and a hostile tenant is demoted alone —
+//! every other tenant's epoch reports are bit-identical to a run where the
+//! hostile tenant never existed.
+
+use naiad_lite::fault::{silence_injected_panics, FaultKind, FaultPlan, FaultyEnv};
+use naiad_lite::{ScalarEnv, UdfEnv};
+use udf_lang::ast::Program;
+use udf_lang::intern::Interner;
+use udf_lang::FnLibrary;
+use udf_serve::{
+    Admission, ChurnOutcome, EpochMode, RejectReason, ServeConfig, Service, TenantEpochReport,
+    TenantId,
+};
+
+type Env = FaultyEnv<ScalarEnv>;
+type Rec = <Env as UdfEnv>::Rec;
+
+fn library(interner: &mut Interner) -> FnLibrary {
+    let probe = interner.intern("probe");
+    let half = interner.intern("half");
+    let mut lib = FnLibrary::new();
+    lib.register(probe, "probe", 1, 20, |a| a[0]);
+    lib.register(half, "half", 1, 10, |a| a[0] / 2);
+    lib
+}
+
+/// A threshold query for tenant isolation tests. `hostile` queries call
+/// `probe` — the fault trigger — so only their UDFs fault; innocent
+/// queries stay on `half`.
+fn query(interner: &mut Interner, id: u32, threshold: i64, hostile: bool) -> Program {
+    let f = if hostile { "probe" } else { "half" };
+    udf_lang::parse::parse_program(
+        &format!(
+            "program q{id} @{id} (v) {{
+                 p := {f}(v);
+                 if (p > {threshold}) {{ notify true; }} else {{ notify false; }}
+             }}"
+        ),
+        interner,
+    )
+    .expect("test program parses")
+}
+
+fn service(fault: FaultPlan, config: ServeConfig) -> Service<Env> {
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let trigger = interner.intern("probe");
+    let env = FaultyEnv::new(ScalarEnv::new(1, lib), trigger, fault);
+    let mut svc = Service::new(env, config);
+    // Service-owned interner must agree with the library's symbols.
+    *svc.interner_mut() = interner;
+    svc
+}
+
+fn batch(range: std::ops::Range<i64>) -> Vec<Rec> {
+    range.map(|v| (v as usize, vec![v])).collect()
+}
+
+#[test]
+fn admission_is_bounded_and_shedding_is_explicit() {
+    let mut svc = service(
+        FaultPlan::none(),
+        ServeConfig {
+            queue_capacity: 10,
+            epoch_batch_limit: 2,
+            deadline_epochs: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let t = TenantId(1);
+    let q = query(svc.interner_mut(), 1, 5, false);
+    svc.register(t, &q).expect("registers");
+
+    // Five batches of two records fill the queue exactly.
+    for i in 0..5 {
+        let a = svc.submit(batch(i * 2..i * 2 + 2));
+        assert!(matches!(a, Admission::Admitted { .. }), "batch {i}: {a:?}");
+    }
+    // The sixth is rejected — records never enter, nothing is dropped.
+    match svc.submit(batch(10..12)) {
+        Admission::Rejected {
+            reason: RejectReason::QueueFull { queued, capacity },
+        } => {
+            assert_eq!((queued, capacity), (10, 10));
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    let acc = svc.accounting();
+    assert_eq!(acc.admitted, 10);
+    assert_eq!(acc.rejected, 2);
+    assert!(acc.balanced());
+
+    // Pressure 1.0 ≥ shed watermark: old batches are shed once they age
+    // past the deadline, each reported explicitly.
+    let mut processed = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..4 {
+        let rep = svc.run_epoch().expect("epoch runs");
+        processed += rep.processed as u64;
+        shed += rep.shed.iter().map(|s| s.records as u64).sum::<u64>();
+        assert!(svc.accounting().balanced(), "after epoch {}", rep.epoch);
+    }
+    assert!(shed > 0, "aged batches under pressure must shed");
+    let acc = svc.accounting();
+    assert_eq!(acc.admitted, processed + shed + acc.queued);
+}
+
+#[test]
+fn churn_defers_under_pressure_and_applies_when_calm() {
+    let mut svc = service(
+        FaultPlan::none(),
+        ServeConfig {
+            queue_capacity: 4,
+            epoch_batch_limit: 4,
+            degrade_watermark: 0.75,
+            ..ServeConfig::default()
+        },
+    );
+    let t = TenantId(1);
+    let q1 = query(svc.interner_mut(), 1, 5, false);
+    let q2 = query(svc.interner_mut(), 2, 9, false);
+    svc.register(t, &q1).expect("calm registration applies");
+    assert_eq!(svc.status().plan_queries, 1);
+
+    svc.submit(batch(0..4));
+    assert!(svc.status().pressure >= 0.75);
+    let out = svc.register(t, &q2).expect("pressured registration defers");
+    assert!(matches!(out, ChurnOutcome::Deferred));
+    assert_eq!(svc.status().plan_queries, 1, "deferred op must not touch the plan");
+
+    // The pressured epoch defers churn and runs sequentially.
+    let rep = svc.run_epoch().expect("epoch runs");
+    assert_eq!(rep.deferred_churn, 1);
+    assert_eq!(rep.mode, EpochMode::Sequential);
+    // The calm epoch applies it.
+    let rep = svc.run_epoch().expect("epoch runs");
+    assert_eq!(rep.applied_churn, 1);
+    assert!(rep.churn_errors.is_empty());
+    assert_eq!(svc.status().plan_queries, 2);
+
+    // With the queue drained and pressure low, consolidated execution
+    // resumes.
+    svc.submit(batch(0..2));
+    let rep = svc.run_epoch().expect("epoch runs");
+    assert_eq!(rep.mode, EpochMode::Consolidated);
+    let counts = &rep.tenants[&t].counts;
+    assert_eq!(counts[&1], 0, "half(v) ≤ 1 for v < 4");
+    assert_eq!(counts[&2], 0);
+}
+
+/// Runs `epochs` epochs over the same deterministic record stream and
+/// returns every tenant's per-epoch report.
+fn drive(
+    svc: &mut Service<Env>,
+    epochs: u64,
+) -> Vec<std::collections::BTreeMap<TenantId, TenantEpochReport>> {
+    let mut out = Vec::new();
+    for e in 0..epochs {
+        let lo = (e as i64) * 20;
+        match svc.submit(batch(lo..lo + 20)) {
+            Admission::Admitted { .. } => {}
+            other => panic!("stream must admit: {other:?}"),
+        }
+        let rep = svc.run_epoch().expect("epoch runs");
+        assert!(svc.accounting().balanced(), "epoch {}", rep.epoch);
+        out.push(rep.tenants);
+    }
+    out
+}
+
+#[test]
+fn hostile_tenant_is_demoted_alone_and_others_are_bit_identical() {
+    silence_injected_panics();
+    let faults = FaultPlan::seeded_kinds(
+        0x5e21,
+        60,
+        8,
+        &[FaultKind::LibError, FaultKind::Panic],
+    );
+    let config = ServeConfig {
+        queue_capacity: 64,
+        epoch_batch_limit: 20,
+        tenant_quarantine_budget: 2,
+        ..ServeConfig::default()
+    };
+    let good = TenantId(1);
+    let also_good = TenantId(2);
+    let hostile = TenantId(3);
+
+    // Run A: two innocent tenants plus the hostile one.
+    let mut with_hostile = service(faults.clone(), config.clone());
+    for (id, th, t, bad) in [
+        (10, 4, good, false),
+        (11, 9, good, false),
+        (20, 14, also_good, false),
+        (30, 7, hostile, true),
+        (31, 2, hostile, true),
+    ] {
+        let q = query(with_hostile.interner_mut(), id, th, bad);
+        with_hostile.register(t, &q).expect("registers");
+    }
+    let reports_a = drive(&mut with_hostile, 3);
+
+    // The hostile tenant — and only it — is demoted, and only its epoch
+    // reports carry quarantined records.
+    let st = with_hostile.status();
+    assert_eq!(st.demoted_tenants, 1);
+    assert!(with_hostile.tenant(hostile).expect("exists").demoted);
+    assert!(!with_hostile.tenant(good).expect("exists").demoted);
+    assert!(!with_hostile.tenant(also_good).expect("exists").demoted);
+    assert!(
+        reports_a.iter().any(|e| !e[&hostile].quarantined.is_empty()),
+        "faults must be attributed to the hostile tenant"
+    );
+    for e in &reports_a {
+        assert!(e[&good].quarantined.is_empty(), "innocent tenant 1 quarantined");
+        assert!(e[&also_good].quarantined.is_empty(), "innocent tenant 2 quarantined");
+    }
+
+    // Run B: identical stream, hostile tenant never registered.
+    let mut without_hostile = service(faults, config);
+    for (id, th, t) in [(10, 4, good), (11, 9, good), (20, 14, also_good)] {
+        let q = query(without_hostile.interner_mut(), id, th, false);
+        without_hostile.register(t, &q).expect("registers");
+    }
+    let reports_b = drive(&mut without_hostile, 3);
+
+    // Bit-identical isolation: the innocents' reports do not depend on the
+    // hostile tenant's existence.
+    for (a, b) in reports_a.iter().zip(&reports_b) {
+        assert_eq!(a[&good], b[&good], "tenant 1 must be unaffected");
+        assert_eq!(a[&also_good], b[&also_good], "tenant 2 must be unaffected");
+    }
+}
+
+#[test]
+fn same_seed_runs_are_identical() {
+    silence_injected_panics();
+    let run = || {
+        let faults = FaultPlan::seeded_kinds(
+            0xd00d,
+            100,
+            10,
+            &[FaultKind::LibError, FaultKind::Panic, FaultKind::Transient(1)],
+        );
+        let mut svc = service(
+            faults,
+            ServeConfig {
+                queue_capacity: 32,
+                epoch_batch_limit: 16,
+                tenant_quarantine_budget: 1,
+                ..ServeConfig::default()
+            },
+        );
+        for (id, th, t, bad) in [(1, 3, TenantId(1), false), (2, 8, TenantId(2), true)] {
+            let q = query(svc.interner_mut(), id, th, bad);
+            svc.register(t, &q).expect("registers");
+        }
+        let mut log = String::new();
+        for e in 0..5u64 {
+            let lo = (e as i64) * 16;
+            let _ = svc.submit(batch(lo..lo + 16));
+            let rep = svc.run_epoch().expect("epoch runs");
+            log.push_str(&format!(
+                "epoch={} mode={:?} processed={} demoted={:?} tenants={:?}\n",
+                rep.epoch, rep.mode, rep.processed, rep.demoted, rep.tenants
+            ));
+        }
+        log.push_str(&format!("{:?}", svc.accounting()));
+        log
+    };
+    assert_eq!(run(), run(), "same-seed service runs must be byte-identical");
+}

@@ -1,0 +1,206 @@
+//! Service churn under chaos: a seeded schedule of submissions,
+//! registrations, deregistrations and epochs, interleaved with injected
+//! UDF faults, must (1) never silently drop a record — the admission
+//! accounting `admitted == processed + shed + queued` holds after every
+//! epoch — and (2) be fully deterministic: the same seed replays to the
+//! same epoch-by-epoch transcript (ci/chaos.sh additionally diffs two
+//! whole same-seed runs at the process level).
+
+use naiad_lite::engine::RetryPolicy;
+use naiad_lite::fault::{silence_injected_panics, FaultKind, FaultPlan, FaultyEnv};
+use naiad_lite::{ScalarEnv, UdfEnv};
+use std::time::Duration;
+use udf_lang::intern::Interner;
+use udf_lang::{FnLibrary, Library};
+use udf_serve::{Admission, ServeConfig, Service, TenantId};
+
+type Env = FaultyEnv<ScalarEnv>;
+type Rec = <Env as UdfEnv>::Rec;
+
+/// Folds the `CHAOS_SEED` environment variable (see `ci/chaos.sh`) into a
+/// base seed, so the schedule sweeps across seed families while staying
+/// fully reproducible within one run.
+fn chaos(seed: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => seed ^ s.trim().parse::<u64>().unwrap_or(0),
+        Err(_) => seed,
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn service(seed: u64) -> Service<Env> {
+    let mut interner = Interner::new();
+    let probe = interner.intern("probe");
+    let half = interner.intern("half");
+    let mut lib = FnLibrary::new();
+    lib.register(probe, "probe", 1, 20, |a| a[0]);
+    lib.register(half, "half", 1, 10, |a| a[0] / 2);
+    // Faults hit `probe` callers only; Transient(1) models a fault the
+    // single-retry policy recovers from.
+    let faults = FaultPlan::seeded_kinds(
+        seed,
+        4096,
+        48,
+        &[
+            FaultKind::LibError,
+            FaultKind::Transient(1),
+            FaultKind::Panic,
+        ],
+    );
+    let env = FaultyEnv::new(ScalarEnv::new(1, lib), probe, faults);
+    let mut svc = Service::new(
+        env,
+        ServeConfig {
+            queue_capacity: 96,
+            epoch_batch_limit: 32,
+            deadline_epochs: 2,
+            tenant_quarantine_budget: 4,
+            retry: RetryPolicy {
+                max_retries: 1,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+                jitter_seed: seed,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    *svc.interner_mut() = interner;
+    svc
+}
+
+/// Replays a seeded schedule and returns its transcript plus the final
+/// accounting line.
+fn run_schedule(seed: u64) -> String {
+    silence_injected_panics();
+    let mut svc = service(seed);
+    let mut rng = seed;
+    let mut next_record: i64 = 0;
+    let mut next_query: u32 = 0;
+    let mut live: Vec<(TenantId, u32)> = Vec::new();
+    let mut transcript = String::new();
+    for step in 0..120u32 {
+        match splitmix64(&mut rng) % 4 {
+            // Submit a batch (possibly rejected at full queue — explicit).
+            0 => {
+                let n = 1 + (splitmix64(&mut rng) % 24) as i64;
+                let recs: Vec<Rec> = (next_record..next_record + n)
+                    .map(|v| (v as usize, vec![v % 512]))
+                    .collect();
+                next_record += n;
+                let a = svc.submit(recs);
+                transcript.push_str(&format!("step {step}: submit {n} -> {a:?}\n"));
+            }
+            // Register a query for a random tenant; every third query is
+            // hostile (calls the fault trigger).
+            1 => {
+                let tenant = TenantId((splitmix64(&mut rng) % 3) as u32);
+                let id = next_query;
+                next_query += 1;
+                let hostile = id % 3 == 2;
+                let f = if hostile { "probe" } else { "half" };
+                let th = (splitmix64(&mut rng) % 40) as i64;
+                let q = udf_lang::parse::parse_program(
+                    &format!(
+                        "program q{id} @{id} (v) {{
+                             p := {f}(v);
+                             if (p > {th}) {{ notify true; }} else {{ notify false; }}
+                         }}"
+                    ),
+                    svc.interner_mut(),
+                )
+                .expect("generated program parses");
+                let out = svc.register(tenant, &q).expect("register");
+                live.push((tenant, id));
+                transcript.push_str(&format!(
+                    "step {step}: register t{} q{id} -> {}\n",
+                    tenant.0,
+                    match out {
+                        udf_serve::ChurnOutcome::Applied(_) => "applied",
+                        udf_serve::ChurnOutcome::AppliedSolo => "solo",
+                        udf_serve::ChurnOutcome::Deferred => "deferred",
+                        udf_serve::ChurnOutcome::Cancelled => "cancelled",
+                    }
+                ));
+            }
+            // Deregister a random live query.
+            2 => {
+                if !live.is_empty() {
+                    let i = (splitmix64(&mut rng) as usize) % live.len();
+                    let (tenant, id) = live.remove(i);
+                    let out = svc
+                        .deregister(tenant, udf_lang::ast::ProgId(id))
+                        .expect("deregister");
+                    transcript.push_str(&format!(
+                        "step {step}: deregister t{} q{id} -> {}\n",
+                        tenant.0,
+                        match out {
+                            udf_serve::ChurnOutcome::Deferred => "deferred",
+                            udf_serve::ChurnOutcome::Cancelled => "cancelled",
+                            _ => "applied",
+                        }
+                    ));
+                }
+            }
+            // Run an epoch; the zero-silent-drop invariant must hold after
+            // every one.
+            _ => {
+                let rep = svc.run_epoch().expect("epoch");
+                let acc = svc.accounting();
+                assert!(
+                    acc.balanced(),
+                    "step {step}: records leaked: {acc:?} after epoch {}",
+                    rep.epoch
+                );
+                transcript.push_str(&format!(
+                    "step {step}: epoch {} mode={:?} processed={} shed={} demoted={:?} tenants={:?}\n",
+                    rep.epoch,
+                    rep.mode,
+                    rep.processed,
+                    rep.shed.len(),
+                    rep.demoted,
+                    rep.tenants,
+                ));
+            }
+        }
+    }
+    // Drain what's left so the lifetime accounting closes out too.
+    for _ in 0..8 {
+        let rep = svc.run_epoch().expect("drain epoch");
+        assert!(svc.accounting().balanced(), "drain epoch {}", rep.epoch);
+    }
+    transcript.push_str(&format!("final {:?}", svc.accounting()));
+    transcript
+}
+
+#[test]
+fn seeded_churn_never_drops_records_silently() {
+    let t = run_schedule(chaos(0xc0de));
+    assert!(t.contains("epoch"), "schedule must have run epochs");
+}
+
+#[test]
+fn same_seed_churn_replays_identically() {
+    let seed = chaos(0xfeed);
+    assert_eq!(
+        run_schedule(seed),
+        run_schedule(seed),
+        "same-seed churn schedules must produce identical transcripts"
+    );
+}
+
+#[test]
+fn distinct_seeds_exercise_distinct_schedules() {
+    // A weak but useful canary that the seed actually reaches the
+    // schedule: two far-apart seeds should not produce the same
+    // transcript (they drive different op sequences).
+    let a = run_schedule(chaos(0x1111_2222_3333_4444));
+    let b = run_schedule(chaos(0x9999_8888_7777_6666));
+    assert_ne!(a, b);
+}

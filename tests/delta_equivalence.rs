@@ -1,0 +1,231 @@
+//! Delta-consolidation equivalence: tree surgery on a live merged plan
+//! must be observationally indistinguishable from re-running the full Ω
+//! engine on the final query set (Theorem 1 transfers node by node), while
+//! doing strictly less solver work for single-query churn.
+
+use consolidate::{consolidate_many, DeltaPlan, Options};
+use naiad_lite::engine::{Engine, ErrorPolicy, ExecMode, QuerySet};
+use naiad_lite::fault::{silence_injected_panics, FaultKind, FaultPlan, FaultyEnv};
+use naiad_lite::ScalarEnv;
+use proptest::prelude::*;
+use udf_lang::ast::{ProgId, Program};
+use udf_lang::cost::CostModel;
+use udf_lang::intern::Interner;
+use udf_lang::{FnLibrary, Library};
+
+fn library(interner: &mut Interner) -> FnLibrary {
+    let inc = interner.intern("inc");
+    let half = interner.intern("half");
+    let mut lib = FnLibrary::new();
+    lib.register(inc, "inc", 1, 15, |a| a[0] + 1);
+    lib.register(half, "half", 1, 10, |a| a[0] / 2);
+    lib
+}
+
+/// Threshold queries with nested predicates (`inc(v) > 3k`), so pairwise
+/// consolidation has real entailments to prove and the solver-work
+/// comparison below is not vacuous.
+fn queries(interner: &mut Interner, n: u32) -> Vec<Program> {
+    (0..n)
+        .map(|k| {
+            udf_lang::parse::parse_program(
+                &format!(
+                    "program q{k} @{k} (v) {{
+                         p := inc(v);
+                         h := half(p);
+                         if (p > {} && h > 1) {{ notify true; }} else {{ notify false; }}
+                     }}",
+                    k * 3
+                ),
+                interner,
+            )
+            .expect("test program parses")
+        })
+        .collect()
+}
+
+/// The oracle: the merged program notifies exactly like each source, on a
+/// value sweep covering every threshold.
+fn assert_notify_equivalent(
+    merged: &Program,
+    sources: &[&Program],
+    interner: &Interner,
+    lib: &FnLibrary,
+) {
+    let interp = udf_lang::interp::Interp::new(CostModel::default(), lib);
+    for v in -5i64..75 {
+        let m = interp.run(merged, &[v], interner).expect("merged runs");
+        for p in sources {
+            let r = interp.run(p, &[v], interner).expect("source runs");
+            assert_eq!(
+                m.notifications.get(p.id),
+                r.notifications.get(p.id),
+                "record {v}: delta plan must notify like source {:?}",
+                p.id
+            );
+        }
+    }
+}
+
+/// The acceptance criterion: on a 21-query merged plan, a delta add (and a
+/// delta remove) produces a notification-equivalent plan with strictly
+/// fewer SMT checks than from-scratch `consolidate_many` on the same final
+/// set.
+#[test]
+fn delta_add_and_remove_beat_scratch_on_solver_checks() {
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let cm = CostModel::default();
+    let opts = Options::default();
+    let programs = queries(&mut interner, 22);
+
+    let mut plan = DeltaPlan::new();
+    for p in &programs[..21] {
+        plan.add(p, &mut interner, &cm, &lib, &opts)
+            .expect("delta add");
+    }
+    assert_eq!(plan.len(), 21);
+    let sources: Vec<&Program> = programs[..21].iter().collect();
+    assert_notify_equivalent(
+        plan.program().expect("non-empty plan"),
+        &sources,
+        &interner,
+        &lib,
+    );
+
+    // Add query #22 by delta: only the O(log n) spine re-consolidates.
+    let add = plan
+        .add(&programs[21], &mut interner, &cm, &lib, &opts)
+        .expect("delta add of the 22nd query");
+    let scratch22 = consolidate_many(&programs, &mut interner, &cm, &lib, &opts, false)
+        .expect("scratch consolidation");
+    assert!(scratch22.stats.solver.checks > 0, "comparison must not be vacuous");
+    assert!(
+        add.stats.solver.checks < scratch22.stats.solver.checks,
+        "delta add must do strictly fewer SMT checks: {} vs scratch {}",
+        add.stats.solver.checks,
+        scratch22.stats.solver.checks
+    );
+    assert!(
+        (add.pairs_recomputed as usize) < 21,
+        "delta add must not re-merge the whole tree"
+    );
+    let sources: Vec<&Program> = programs.iter().collect();
+    assert_notify_equivalent(
+        plan.program().expect("non-empty plan"),
+        &sources,
+        &interner,
+        &lib,
+    );
+
+    // Remove a mid-tree query by delta.
+    let remove = plan
+        .remove(ProgId(5), &interner, &cm, &lib, &opts)
+        .expect("delta remove");
+    let remaining: Vec<Program> = programs
+        .iter()
+        .filter(|p| p.id != ProgId(5))
+        .cloned()
+        .collect();
+    let scratch = consolidate_many(&remaining, &mut interner, &cm, &lib, &opts, false)
+        .expect("scratch consolidation of the remaining set");
+    assert!(
+        remove.stats.solver.checks < scratch.stats.solver.checks,
+        "delta remove must do strictly fewer SMT checks: {} vs scratch {}",
+        remove.stats.solver.checks,
+        scratch.stats.solver.checks
+    );
+    let sources: Vec<&Program> = remaining.iter().collect();
+    assert_notify_equivalent(
+        plan.program().expect("non-empty plan"),
+        &sources,
+        &interner,
+        &lib,
+    );
+}
+
+/// Compiles `programs` with `merged` attached and runs both modes over a
+/// faulty environment, returning (counts, quarantined record indices).
+fn run_with_faults(
+    programs: &[Program],
+    merged: &Program,
+    interner: &mut Interner,
+    fault_seed: u64,
+) -> (Vec<u64>, Vec<usize>) {
+    let lib = library(interner);
+    let cm = CostModel::default();
+    let qs = QuerySet::compile_many(programs, &cm, &|f| lib.cost(f))
+        .expect("many compiles")
+        .with_consolidated(merged, &cm, &|f| lib.cost(f), std::time::Duration::ZERO)
+        .expect("merged compiles");
+    let trigger = interner.intern("inc");
+    let plan = FaultPlan::seeded_kinds(
+        fault_seed,
+        80,
+        9,
+        &[FaultKind::LibError, FaultKind::Panic, FaultKind::Transient(9)],
+    );
+    let env = FaultyEnv::new(ScalarEnv::new(1, lib), trigger, plan);
+    let records = FaultyEnv::<ScalarEnv>::index_records((0..80).map(|v| vec![v]));
+    let run = Engine::new(2)
+        .with_error_policy(ErrorPolicy::Quarantine { max_errors: 1000 })
+        .run(&env, &records, &qs, ExecMode::Consolidated, false)
+        .expect("quarantine absorbs faults");
+    (run.counts.clone(), run.quarantine.records())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any seeded register/deregister sequence yields a plan whose
+    /// notifications — and, under fault injection, whose quarantine
+    /// decisions — match from-scratch `consolidate_many` on the final set.
+    #[test]
+    fn seeded_churn_matches_scratch(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<bool>(), 0u32..10), 1..24)
+    ) {
+        silence_injected_panics();
+        let mut interner = Interner::new();
+        let lib = library(&mut interner);
+        let cm = CostModel::default();
+        let opts = Options::default();
+        let pool = queries(&mut interner, 10);
+
+        let mut plan = DeltaPlan::new();
+        let mut live: Vec<Program> = Vec::new();
+        for (register, k) in ops {
+            let p = &pool[k as usize];
+            if register && !plan.contains(p.id) {
+                plan.add(p, &mut interner, &cm, &lib, &opts).expect("add");
+                live.push(p.clone());
+            } else if !register && plan.contains(p.id) {
+                plan.remove(p.id, &interner, &cm, &lib, &opts).expect("remove");
+                live.retain(|q| q.id != p.id);
+            }
+        }
+        prop_assert_eq!(plan.len(), live.len());
+        if live.is_empty() {
+            prop_assert!(plan.program().is_none());
+            return Ok(());
+        }
+
+        let merged = plan.program().expect("non-empty plan").clone();
+        let sources: Vec<&Program> = live.iter().collect();
+        assert_notify_equivalent(&merged, &sources, &interner, &lib);
+
+        // Engine-level: same counts AND same quarantine decisions as the
+        // from-scratch plan, under injected faults.
+        let scratch = consolidate_many(&live, &mut interner, &cm, &lib, &opts, false)
+            .expect("scratch consolidation");
+        let (delta_counts, delta_quarantine) =
+            run_with_faults(&live, &merged, &mut interner, seed);
+        let (scratch_counts, scratch_quarantine) =
+            run_with_faults(&live, &scratch.program, &mut interner, seed);
+        prop_assert_eq!(delta_counts, scratch_counts);
+        prop_assert_eq!(delta_quarantine, scratch_quarantine);
+    }
+}

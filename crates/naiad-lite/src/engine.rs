@@ -27,9 +27,12 @@
 //! notification-equivalent on the surviving records — the consolidation
 //! correctness story (Theorem 1) is unaffected by which policy runs.
 
+use crate::batch::{BatchVm, LaneFault, RecordBatch};
 use crate::compile::{Compiled, Vm, VmError, DEFAULT_FUEL, NOTIFY_NONE};
 use crate::env::UdfEnv;
 use crate::guard::{GuardAction, GuardMismatch, GuardObservation, GuardPolicy, GuardReport, GuardRun};
+use crate::regcode::RegProgram;
+pub use plan_cache::ExecBackend;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -56,6 +59,12 @@ pub struct QuerySet {
     pub many: Vec<Compiled>,
     /// The consolidated UDF, when available.
     pub consolidated: Option<Compiled>,
+    /// Register-bytecode lowering of [`QuerySet::many`], in the same order.
+    /// Built eagerly at compile time so [`ExecBackend::Columnar`] runs never
+    /// lower on the hot path.
+    pub reg_many: Vec<RegProgram>,
+    /// Register-bytecode lowering of [`QuerySet::consolidated`].
+    pub reg_consolidated: Option<RegProgram>,
     /// Time spent consolidating (reported separately, as in Figure 10).
     pub consolidation_time: Duration,
     /// Per-record VM step budget ([`DEFAULT_FUEL`] unless overridden here or
@@ -84,14 +93,24 @@ impl QuerySet {
             .iter()
             .map(|p| Compiled::compile(p, &query_ids, cm, fn_cost))
             .collect::<Result<Vec<_>, _>>()?;
+        let reg_many = many.iter().map(RegProgram::lower).collect();
         Ok(QuerySet {
             query_ids,
             many,
             consolidated: None,
+            reg_many,
+            reg_consolidated: None,
             consolidation_time: Duration::ZERO,
             fuel: DEFAULT_FUEL,
             plan_key: None,
         })
+    }
+
+    /// Total nanoseconds spent lowering this set to register bytecode
+    /// (reported through the `regcode.fold_ns` metric).
+    pub fn fold_ns(&self) -> u64 {
+        self.reg_many.iter().map(|r| r.fold_ns).sum::<u64>()
+            + self.reg_consolidated.as_ref().map_or(0, |r| r.fold_ns)
     }
 
     /// Overrides the per-record VM step budget for this query set.
@@ -123,7 +142,9 @@ impl QuerySet {
         fn_cost: &dyn Fn(Symbol) -> Cost,
         consolidation_time: Duration,
     ) -> Result<QuerySet, crate::compile::CompileError> {
-        self.consolidated = Some(Compiled::compile(merged, &self.query_ids, cm, fn_cost)?);
+        let compiled = Compiled::compile(merged, &self.query_ids, cm, fn_cost)?;
+        self.reg_consolidated = Some(RegProgram::lower(&compiled));
+        self.consolidated = Some(compiled);
         self.consolidation_time = consolidation_time;
         Ok(self)
     }
@@ -150,15 +171,17 @@ impl QuerySet {
         opts: &consolidate::Options,
         parallel: bool,
         cache: &plan_cache::PlanCache,
+        backend: ExecBackend,
     ) -> Result<(QuerySet, consolidate::Consolidated, plan_cache::PlanOutcome), QuerySetError>
     {
         let (merged, outcome) = plan_cache::consolidate_many_cached(
-            cache, programs, interner, cm, fns, opts, parallel,
+            cache, programs, interner, cm, fns, opts, parallel, backend,
         )?;
-        let key = plan_cache::PlanKey::derive(programs, interner, opts, cm);
+        let key = plan_cache::PlanKey::derive(programs, interner, opts, cm, backend);
         let qs = QuerySet::compile_many(programs, cm, fn_cost)?
             .with_consolidated(&merged.program, cm, fn_cost, merged.elapsed)?
             .with_plan_key(key);
+        opts.recorder.observe(names::REGCODE_FOLD_NS, qs.fold_ns());
         Ok((qs, merged, outcome))
     }
 }
@@ -287,6 +310,11 @@ impl RetryPolicy {
 pub struct EngineConfig {
     /// Per-record failure handling.
     pub error_policy: ErrorPolicy,
+    /// Which execution backend evaluates records: the per-record stack VM
+    /// (the reference) or the columnar register-bytecode batch executor.
+    /// Observables — notifications, costs, quarantine reports, guard
+    /// verdicts — are bit-identical either way; only throughput differs.
+    pub backend: ExecBackend,
     /// Transient-fault retry behaviour (disabled by default).
     pub retry: RetryPolicy,
     /// Differential plan validation (disabled by default). Only applies to
@@ -321,6 +349,7 @@ impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             error_policy: ErrorPolicy::FailFast,
+            backend: ExecBackend::default(),
             retry: RetryPolicy::default(),
             guard: GuardPolicy::default(),
             fuel: None,
@@ -563,6 +592,14 @@ impl Engine {
         self
     }
 
+    /// Selects the execution backend for all runs (default
+    /// [`ExecBackend::PerRecord`]).
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Engine {
+        self.config.backend = backend;
+        self
+    }
+
     /// Overrides the per-record VM step budget for all runs.
     #[must_use]
     pub fn with_fuel(mut self, fuel: u64) -> Engine {
@@ -801,7 +838,7 @@ impl Engine {
 }
 
 /// Renders a caught panic payload as text.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -886,6 +923,9 @@ fn run_shard<E: UdfEnv>(
     config: &EngineConfig,
     guard: Option<&GuardRun>,
 ) -> Result<ShardOut, EngineError> {
+    if config.backend == ExecBackend::Columnar {
+        return run_shard_columnar(env, shard, base, queries, mode, track_cost, n_q, config, guard);
+    }
     let fuel = config.fuel.unwrap_or(queries.fuel);
     let recorder = &config.recorder;
     let retry = &config.retry;
@@ -1052,6 +1092,245 @@ fn run_shard<E: UdfEnv>(
                     }
                 }
             },
+        }
+    }
+    recorder.add(names::ENGINE_RECORDS, processed);
+    Ok(ShardOut {
+        counts,
+        missing,
+        cost,
+        quarantine,
+        records_retried,
+        retry_attempts,
+        records_recovered,
+    })
+}
+
+/// Records per [`BatchVm`] batch under [`ExecBackend::Columnar`]. Sized so a
+/// typical register file (tens of registers × 8 bytes × lanes) stays
+/// cache-resident.
+const COLUMNAR_BATCH: usize = 256;
+
+/// The columnar twin of [`run_shard`]: records are evaluated a batch at a
+/// time through the register-bytecode executor, then every *policy* decision
+/// — retries, guard shadowing, quarantine accounting, fail-fast ordering,
+/// early termination — replays lane by lane in record order with exactly the
+/// per-record code, so reports are bit-identical between backends. Retries
+/// and guard shadows run through the scalar stack VM (the reference), which
+/// also keeps stateful fault environments observing the same call sequence.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_columnar<E: UdfEnv>(
+    env: &E,
+    shard: &[E::Rec],
+    base: usize,
+    queries: &QuerySet,
+    mode: ExecMode,
+    track_cost: bool,
+    n_q: usize,
+    config: &EngineConfig,
+    guard: Option<&GuardRun>,
+) -> Result<ShardOut, EngineError> {
+    let fuel = config.fuel.unwrap_or(queries.fuel);
+    let recorder = &config.recorder;
+    let retry = &config.retry;
+    let progs: Vec<&RegProgram> = match mode {
+        ExecMode::Many => queries.reg_many.iter().collect(),
+        ExecMode::Consolidated => vec![queries
+            .reg_consolidated
+            .as_ref()
+            .expect("checked by Engine::run")],
+    };
+    let mut bvm = BatchVm::new(fuel);
+    let mut batch = RecordBatch::default();
+    // Scalar stack VM for retry attempts (attempt ≥ 2 re-runs the reference
+    // path, as the per-record backend does on every attempt).
+    let mut scalar_vm = Vm::new().with_fuel(fuel);
+    let mut shadow_vm: Option<Vm> = None;
+    let mut row = Vec::new();
+    let mut notify: Vec<i8> = Vec::new();
+    let mut counts = vec![0u64; n_q];
+    let mut missing = vec![0u64; n_q];
+    let mut cost = 0u64;
+    let mut processed = 0u64;
+    let mut quarantine: Vec<QuarantineEntry> = Vec::new();
+    let mut records_retried = 0usize;
+    let mut retry_attempts = 0u64;
+    let mut records_recovered = 0usize;
+    'outer: for (bi, chunk) in shard.chunks(COLUMNAR_BATCH).enumerate() {
+        if guard.is_some_and(|g| g.tripped()) {
+            break;
+        }
+        let chunk_base = base + bi * COLUMNAR_BATCH;
+        notify.clear();
+        notify.resize(chunk.len() * n_q, NOTIFY_NONE);
+        {
+            let _batch_span = recorder.span(names::ENGINE_BATCH_NS);
+            batch.regather(env, chunk, &mut row);
+            bvm.run(&progs, &batch, env, chunk, &mut notify, track_cost);
+        }
+        for (k, rec) in chunk.iter().enumerate() {
+            if guard.is_some_and(|g| g.tripped()) {
+                // Mid-stream demotion: lanes the batch already evaluated are
+                // simply not accumulated, matching the per-record backend
+                // (which would not have evaluated them at all).
+                break 'outer;
+            }
+            let record = chunk_base + k;
+            processed += 1;
+            let _record_span = recorder.span(names::ENGINE_RECORD_NS);
+            let lane_notify = &mut notify[k * n_q..(k + 1) * n_q];
+            let mut retries_used = 0u32;
+            let mut cur: Result<u64, (Option<ProgId>, RecordFault)> = match bvm.take_fault(k) {
+                None => Ok(bvm.cost(k)),
+                Some((pi, f)) => {
+                    let query = match mode {
+                        ExecMode::Many => Some(queries.query_ids[pi]),
+                        ExecMode::Consolidated => None,
+                    };
+                    Err((
+                        query,
+                        match f {
+                            LaneFault::Vm(e) => RecordFault::Vm(e),
+                            LaneFault::Panic(m) => RecordFault::Panic(m),
+                        },
+                    ))
+                }
+            };
+            let outcome = loop {
+                match cur {
+                    Ok(c) => break Ok(c),
+                    Err((query, fault)) => {
+                        let transient =
+                            matches!(&fault, RecordFault::Vm(e) if e.is_transient());
+                        if transient && retries_used < retry.max_retries {
+                            retries_used += 1;
+                            recorder.add(names::ENGINE_RETRIES, 1);
+                            let delay = retry.backoff(record, retries_used);
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            lane_notify.fill(NOTIFY_NONE);
+                            cur = eval_record(
+                                &mut scalar_vm,
+                                env,
+                                rec,
+                                queries,
+                                mode,
+                                track_cost,
+                                lane_notify,
+                            );
+                            continue;
+                        }
+                        break Err((query, fault, transient));
+                    }
+                }
+            };
+            if retries_used > 0 {
+                records_retried += 1;
+                retry_attempts += u64::from(retries_used);
+                if outcome.is_ok() {
+                    records_recovered += 1;
+                }
+            }
+            if let Some(g) = guard {
+                let transient_involved =
+                    retries_used > 0 || matches!(&outcome, Err((_, _, true)));
+                if config.guard.samples(record) && !transient_involved {
+                    let _guard_span = recorder.span(names::GUARD_NS);
+                    g.record_shadow();
+                    recorder.add(names::GUARD_SHADOW_RUNS, 1);
+                    let mut shadow_notify = vec![NOTIFY_NONE; n_q];
+                    let shadow = {
+                        let svm = shadow_vm.get_or_insert_with(|| Vm::new().with_fuel(fuel));
+                        eval_record(svm, env, rec, queries, ExecMode::Many, false, &mut shadow_notify)
+                    };
+                    if matches!(&shadow, Err((_, RecordFault::Panic(_)))) {
+                        shadow_vm = None;
+                    }
+                    let consolidated = match &outcome {
+                        Ok(_) => GuardObservation::from_notify(lane_notify),
+                        Err(_) => GuardObservation::Quarantined,
+                    };
+                    let sequential = match &shadow {
+                        Ok(_) => GuardObservation::from_notify(&shadow_notify),
+                        Err(_) => GuardObservation::Quarantined,
+                    };
+                    if consolidated != sequential {
+                        recorder.add(names::GUARD_MISMATCHES, 1);
+                        g.record_mismatch(
+                            &config.guard,
+                            GuardMismatch {
+                                record,
+                                consolidated,
+                                sequential,
+                            },
+                        );
+                    }
+                }
+            }
+            match outcome {
+                Ok(c) => {
+                    cost += c;
+                    for q in 0..n_q {
+                        match lane_notify[q] {
+                            1 => counts[q] += 1,
+                            0 => {}
+                            _ => missing[q] += 1,
+                        }
+                    }
+                }
+                Err((query, fault, _transient)) => match config.error_policy {
+                    ErrorPolicy::FailFast => {
+                        return Err(match fault {
+                            RecordFault::Vm(error) => EngineError::Record { record, error },
+                            RecordFault::Panic(message) => {
+                                EngineError::RecordPanic { record, message }
+                            }
+                        });
+                    }
+                    ErrorPolicy::Quarantine { max_errors } => {
+                        let (kind, detail) = match &fault {
+                            RecordFault::Vm(e) => (ErrorKind::of(e), e.to_string()),
+                            RecordFault::Panic(m) => (ErrorKind::Panic, m.clone()),
+                        };
+                        recorder.add(names::ENGINE_QUARANTINED, 1);
+                        recorder.add(
+                            match kind {
+                                ErrorKind::DuplicateNotify => {
+                                    names::ENGINE_QUARANTINED_DUPLICATE_NOTIFY
+                                }
+                                ErrorKind::Lib => names::ENGINE_QUARANTINED_LIB,
+                                ErrorKind::OutOfFuel => names::ENGINE_QUARANTINED_OUT_OF_FUEL,
+                                ErrorKind::Panic => names::ENGINE_QUARANTINED_PANIC,
+                            },
+                            1,
+                        );
+                        if matches!(fault, RecordFault::Panic(_)) {
+                            // Only a scalar retry attempt can have unwound
+                            // through `scalar_vm` (batch-path panics are
+                            // caught per lane); rebuilding unconditionally
+                            // is harmless and mirrors the reference.
+                            scalar_vm = Vm::new().with_fuel(fuel);
+                        }
+                        let sample = (quarantine.len() < config.max_payload_samples).then(|| {
+                            let mut args = Vec::new();
+                            env.args(rec, &mut args);
+                            args
+                        });
+                        quarantine.push(QuarantineEntry {
+                            record,
+                            query,
+                            kind,
+                            detail,
+                            sample,
+                            retries: retries_used,
+                        });
+                        if quarantine.len() > max_errors {
+                            break 'outer;
+                        }
+                    }
+                },
+            }
         }
     }
     recorder.add(names::ENGINE_RECORDS, processed);

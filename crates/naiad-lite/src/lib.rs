@@ -19,6 +19,12 @@
 //!   (the engine's fast path; the tree-walking interpreter in `udf-lang`
 //!   remains the semantic reference and the VM is differentially tested
 //!   against it);
+//! * [`regcode`] / [`batch`] — the columnar backend: stack bytecode is
+//!   lowered once per plan into basic-block register bytecode (constant
+//!   folding + copy propagation, exact cost/fuel accounting), and a
+//!   struct-of-arrays [`batch::RecordBatch`] executor runs each basic block
+//!   across a whole batch of records; selected per job by
+//!   [`engine::ExecBackend`] with bit-identical observables either way;
 //! * [`engine`] — sharded parallel execution across worker threads with the
 //!   `where_many` / `where_consolidated` operators and the timing breakdown
 //!   (UDF time vs total time) the paper's Figures 9 and 10 report. The
@@ -41,17 +47,21 @@
 // Production code must justify fallibility; tests may unwrap freely.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod batch;
 pub mod compile;
 pub mod engine;
 pub mod env;
 pub mod fault;
 pub mod guard;
+pub mod regcode;
 
+pub use batch::{BatchVm, RecordBatch};
 pub use compile::{CompileError, Compiled, Vm, DEFAULT_FUEL};
 pub use engine::{
-    Engine, EngineConfig, EngineError, ErrorKind, ErrorPolicy, ExecMode, JobReport,
+    Engine, EngineConfig, EngineError, ErrorKind, ErrorPolicy, ExecBackend, ExecMode, JobReport,
     QuarantineEntry, QuarantineReport, QuerySet, QuerySetError, RetryPolicy,
 };
+pub use regcode::{RegProgram, RegVm};
 pub use env::{ScalarEnv, UdfEnv};
 pub use fault::{FaultKind, FaultPlan, FaultyEnv};
 pub use guard::{

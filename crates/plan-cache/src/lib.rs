@@ -52,6 +52,43 @@ use udf_lang::intern::Interner;
 pub use portable::PortableProgram;
 pub use snapshot::SnapshotRecovery;
 
+/// Which execution backend a consolidated plan is compiled for.
+///
+/// The engine can run a merged plan either through the per-record stack VM
+/// or through the columnar batch executor (register bytecode over
+/// struct-of-arrays record batches). The backend is part of the plan
+/// fingerprint — see [`PlanKey::derive`] — so a cache hit never serves a
+/// plan compiled for the other backend: backend-specific lowering artifacts
+/// (register programs, batch layouts) must never alias across backends as
+/// the lowering pipelines evolve independently.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ExecBackend {
+    /// Reference path: the stack VM interprets each record individually.
+    #[default]
+    PerRecord,
+    /// Register bytecode executed block-at-a-time over record batches.
+    Columnar,
+}
+
+impl ExecBackend {
+    /// Short lowercase label for reports and `--backend` flags.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecBackend::PerRecord => "per-record",
+            ExecBackend::Columnar => "columnar",
+        }
+    }
+
+    /// Parses the labels produced by [`ExecBackend::as_str`].
+    pub fn parse(s: &str) -> Option<ExecBackend> {
+        match s {
+            "per-record" => Some(ExecBackend::PerRecord),
+            "columnar" => Some(ExecBackend::Columnar),
+            _ => None,
+        }
+    }
+}
+
 /// Stable cache key: canonical program-set hash × plan-relevant options.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct PlanKey(pub u128);
@@ -64,12 +101,13 @@ impl std::fmt::Display for PlanKey {
 
 impl PlanKey {
     /// Derives the key for consolidating `programs` (in order) under `opts`
-    /// and `cm`.
+    /// and `cm`, compiled for `backend`.
     ///
     /// The fingerprint covers everything that shapes the *output plan*:
     /// program structure (alpha-renamed), entailment mode, rule policies and
     /// structural limits, solver resource limits (they decide which
-    /// entailments prove), and the cost model. It deliberately excludes the
+    /// entailments prove), the cost model, and the execution backend the
+    /// plan is lowered for. It deliberately excludes the
     /// [`consolidate::ConsolidationBudget`]: budgets bound *work*, not the
     /// target plan, and the tier-upgrade rule handles budget-degraded
     /// entries. The external `FnCost` oracle cannot be fingerprinted;
@@ -80,9 +118,14 @@ impl PlanKey {
         interner: &Interner,
         opts: &Options,
         cm: &CostModel,
+        backend: ExecBackend,
     ) -> PlanKey {
         let mut h = Fnv128::new();
         h.u128(udf_lang::canon::set_key(programs, interner));
+        h.byte(match backend {
+            ExecBackend::PerRecord => 1,
+            ExecBackend::Columnar => 2,
+        });
         h.byte(match opts.mode {
             consolidate::EntailmentMode::Smt => 1,
             consolidate::EntailmentMode::Syntactic => 2,
@@ -107,10 +150,7 @@ impl PlanKey {
         h.u64(opts.solver.theory_limits.max_probe_pairs as u64);
         h.u64(opts.solver.theory_limits.max_rounds as u64);
         h.u64(opts.solver.minimize_up_to as u64);
-        for cost in [
-            cm.int_const, cm.var, cm.bool_const, cm.not, cm.connective,
-            cm.cmp, cm.arith, cm.assign, cm.branch, cm.notify,
-        ] {
+        for cost in cm.components() {
             h.u64(cost);
         }
         PlanKey(h.finish())
@@ -514,9 +554,15 @@ impl PlanOutcome {
 /// [`udf_smt::SolverStats`]: a hit performs no solver work, which is what
 /// lets callers assert "the second run made zero SMT checks".
 ///
+/// `backend` names the execution backend the plan will be lowered for; it
+/// is folded into the cache key, so the same program set requested for
+/// [`ExecBackend::PerRecord`] and [`ExecBackend::Columnar`] occupies two
+/// independent entries and a hit never crosses backends.
+///
 /// # Errors
 ///
 /// Propagates [`ConsolidateError`] from the underlying consolidation.
+#[allow(clippy::too_many_arguments)]
 pub fn consolidate_many_cached(
     cache: &PlanCache,
     programs: &[Program],
@@ -525,12 +571,13 @@ pub fn consolidate_many_cached(
     fns: &(dyn FnCost + Sync),
     opts: &Options,
     parallel: bool,
+    backend: ExecBackend,
 ) -> Result<(Consolidated, PlanOutcome), ConsolidateError> {
     if programs.is_empty() {
         return Err(ConsolidateError::Empty);
     }
     let start = Instant::now();
-    let key = PlanKey::derive(programs, interner, opts, cm);
+    let key = PlanKey::derive(programs, interner, opts, cm, backend);
     let cached = cache.get(key);
     if let Some(plan) = &cached {
         let budget_spent = BudgetState::new(&opts.budget).exhausted();
@@ -617,13 +664,13 @@ mod tests {
         let cache = PlanCache::default();
 
         let (cold, o1) =
-            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &opts, false)
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &opts, false, ExecBackend::PerRecord)
                 .expect("cold run succeeds");
         assert_eq!(o1, PlanOutcome::Miss);
         assert!(cold.stats.solver.checks > 0, "cold run must hit the solver");
 
         let (warm, o2) =
-            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &opts, false)
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &opts, false, ExecBackend::PerRecord)
                 .expect("warm run succeeds");
         assert_eq!(o2, PlanOutcome::Hit);
         assert_eq!(warm.stats.solver.checks, 0, "a hit must skip the solver");
@@ -654,8 +701,8 @@ mod tests {
         let cm = CostModel::default();
         let opts = Options::default();
         assert_eq!(
-            PlanKey::derive(&a, &i, &opts, &cm),
-            PlanKey::derive(&b, &i, &opts, &cm)
+            PlanKey::derive(&a, &i, &opts, &cm, ExecBackend::PerRecord),
+            PlanKey::derive(&b, &i, &opts, &cm, ExecBackend::PerRecord)
         );
     }
 
@@ -670,9 +717,60 @@ mod tests {
             ..Options::default()
         };
         assert_ne!(
-            PlanKey::derive(&programs, &i, &smt, &cm),
-            PlanKey::derive(&programs, &i, &syn, &cm)
+            PlanKey::derive(&programs, &i, &smt, &cm, ExecBackend::PerRecord),
+            PlanKey::derive(&programs, &i, &syn, &cm, ExecBackend::PerRecord)
         );
+    }
+
+    #[test]
+    fn backends_partition_the_key_space() {
+        let mut i = Interner::new();
+        let programs = family(&mut i);
+        let cm = CostModel::default();
+        let opts = Options::default();
+        assert_ne!(
+            PlanKey::derive(&programs, &i, &opts, &cm, ExecBackend::PerRecord),
+            PlanKey::derive(&programs, &i, &opts, &cm, ExecBackend::Columnar),
+            "backend must partition the key space"
+        );
+    }
+
+    #[test]
+    fn cache_hits_never_cross_backends() {
+        let mut i = Interner::new();
+        let programs = family(&mut i);
+        let cm = CostModel::default();
+        let fns = UniformFnCost(50);
+        let opts = Options::default();
+        let cache = PlanCache::default();
+
+        // Fill for the per-record backend…
+        let (_, o1) = consolidate_many_cached(
+            &cache, &programs, &mut i, &cm, &fns, &opts, false, ExecBackend::PerRecord,
+        )
+        .expect("per-record run succeeds");
+        assert_eq!(o1, PlanOutcome::Miss);
+
+        // …a columnar request for the same set must NOT be served from it.
+        let (_, o2) = consolidate_many_cached(
+            &cache, &programs, &mut i, &cm, &fns, &opts, false, ExecBackend::Columnar,
+        )
+        .expect("columnar run succeeds");
+        assert_eq!(
+            o2,
+            PlanOutcome::Miss,
+            "a plan cached for one backend must never satisfy the other"
+        );
+
+        // Same-backend resubmissions hit their own entries.
+        for backend in [ExecBackend::PerRecord, ExecBackend::Columnar] {
+            let (_, o) = consolidate_many_cached(
+                &cache, &programs, &mut i, &cm, &fns, &opts, false, backend,
+            )
+            .expect("warm run succeeds");
+            assert_eq!(o, PlanOutcome::Hit);
+        }
+        assert_eq!(cache.len(), 2, "one entry per backend");
     }
 
     #[test]
@@ -688,7 +786,7 @@ mod tests {
             ..Options::default()
         };
         let (degraded, o1) =
-            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &starved, false)
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &starved, false, ExecBackend::PerRecord)
                 .expect("starved run succeeds");
         assert_eq!(o1, PlanOutcome::Miss);
         assert!(degraded.stats.tier > DegradationTier::Full);
@@ -703,21 +801,21 @@ mod tests {
         // re-consolidation attempt, which under the same ceiling cannot be
         // worse, and under an unlimited one reaches Full.
         let unlimited = Options::default();
-        let key_starved = PlanKey::derive(&programs, &i, &starved, &cm);
-        let key_unlimited = PlanKey::derive(&programs, &i, &unlimited, &cm);
+        let key_starved = PlanKey::derive(&programs, &i, &starved, &cm, ExecBackend::PerRecord);
+        let key_unlimited = PlanKey::derive(&programs, &i, &unlimited, &cm, ExecBackend::PerRecord);
         assert_eq!(
             key_starved, key_unlimited,
             "budget must not partition the key space"
         );
         let (upgraded, o2) =
-            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &unlimited, false)
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &unlimited, false, ExecBackend::PerRecord)
                 .expect("upgrade run succeeds");
         assert_eq!(o2, PlanOutcome::Upgrade);
         assert_eq!(upgraded.stats.tier, DegradationTier::Full);
 
         // The upgraded plan is now served on hits.
         let (served, o3) =
-            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &unlimited, false)
+            consolidate_many_cached(&cache, &programs, &mut i, &cm, &fns, &unlimited, false, ExecBackend::PerRecord)
                 .expect("warm run succeeds");
         assert_eq!(o3, PlanOutcome::Hit);
         assert_eq!(served.stats.tier, DegradationTier::Full);

@@ -21,8 +21,9 @@
 //! pretty-prints identically to the freshly consolidated one.
 
 use consolidate::Options;
+use naiad_lite::engine::ExecBackend;
 use plan_cache::PlanCache;
-use udf_bench::{run_family_cached, run_family_passes, Scale};
+use udf_bench::{run_family_cached, run_family_guarded, Scale};
 use udf_lang::intern::Interner;
 
 fn main() {
@@ -32,6 +33,7 @@ fn main() {
     let mut warm_cache = false;
     let mut metrics = false;
     let mut json: Option<String> = None;
+    let mut backend = ExecBackend::PerRecord;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -40,6 +42,13 @@ fn main() {
             "--metrics" => metrics = true,
             "--json" => {
                 json = Some(it.next().expect("--json PATH").clone());
+            }
+            "--backend" => {
+                let v = it.next().expect("--backend per-record|columnar");
+                backend = ExecBackend::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown backend `{v}`; use per-record or columnar");
+                    std::process::exit(2);
+                });
             }
             "--seed" => {
                 seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
@@ -88,7 +97,7 @@ fn main() {
         // The paper's scalability benchmark uses mixes of News query
         // families; BC is the mixed family.
         let programs = (bc_family().build)(n, seed, &mut interner);
-        let r = run_family_passes(
+        let r = run_family_guarded(
             "news",
             "BC",
             &env,
@@ -98,6 +107,10 @@ fn main() {
             workers,
             &opts,
             scale.passes,
+            None,
+            naiad_lite::GuardPolicy::default(),
+            naiad_lite::RetryPolicy::default(),
+            backend,
         );
         println!(
             "{:>6} {:>14.4} {:>14.4} {:>14.4} {:>14.4} {:>14.4} {:>10} {:>6}{}",

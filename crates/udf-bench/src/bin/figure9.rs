@@ -34,6 +34,7 @@
 //! consolidation time stays far below execution time.
 
 use consolidate::Options;
+use naiad_lite::engine::ExecBackend;
 use udf_bench::{format_row, header, Scale};
 use udf_data::DomainKind;
 
@@ -46,6 +47,7 @@ fn main() {
     let mut guard = false;
     let mut explain = false;
     let mut json: Option<String> = None;
+    let mut backends = vec![ExecBackend::PerRecord];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,6 +57,16 @@ fn main() {
             "--explain" => explain = true,
             "--json" => {
                 json = Some(it.next().expect("--json PATH").clone());
+            }
+            "--backend" => {
+                let v = it.next().expect("--backend per-record|columnar|both");
+                backends = match v.as_str() {
+                    "both" => vec![ExecBackend::PerRecord, ExecBackend::Columnar],
+                    other => vec![ExecBackend::parse(other).unwrap_or_else(|| {
+                        eprintln!("unknown backend `{other}`; use per-record, columnar, or both");
+                        std::process::exit(2);
+                    })],
+                };
             }
             "--queries" => {
                 scale.queries = it
@@ -108,17 +120,54 @@ fn main() {
     println!("(queries per family: {}, passes: {}, seed {seed})", scale.queries, scale.passes);
     println!("{}", header());
     let mut runs = Vec::new();
-    for d in domains {
-        for r in udf_bench::run_domain_guarded(
-            d,
-            scale,
-            seed,
-            &opts,
-            guard_policy,
-            naiad_lite::RetryPolicy::default(),
-        ) {
-            println!("{}", format_row(&r));
-            runs.push(r);
+    for &backend in &backends {
+        if backends.len() > 1 {
+            println!("-- backend: {}", backend.as_str());
+        }
+        for &d in &domains {
+            for r in udf_bench::run_domain_guarded(
+                d,
+                scale,
+                seed,
+                &opts,
+                guard_policy,
+                naiad_lite::RetryPolicy::default(),
+                backend,
+            ) {
+                println!("{}", format_row(&r));
+                runs.push(r);
+            }
+        }
+    }
+    // `--backend both`: the two backends must observe identical outputs —
+    // every (domain, family) cell's output digest must agree bit-for-bit.
+    if backends.len() > 1 {
+        let mut diverged = 0usize;
+        let base: Vec<&udf_bench::FamilyRun> = runs
+            .iter()
+            .filter(|r| r.backend == ExecBackend::PerRecord)
+            .collect();
+        for r in runs.iter().filter(|r| r.backend == ExecBackend::Columnar) {
+            let Some(b) = base
+                .iter()
+                .find(|b| b.domain == r.domain && b.family == r.family)
+            else {
+                continue;
+            };
+            if b.output_digest != r.output_digest {
+                diverged += 1;
+                eprintln!(
+                    "DIVERGENCE {}/{}: per-record digest {:016x} != columnar digest {:016x}",
+                    r.domain, r.family, b.output_digest, r.output_digest
+                );
+            }
+        }
+        println!(
+            "backend parity: {} cells compared, {diverged} divergences",
+            base.len()
+        );
+        if diverged > 0 {
+            std::process::exit(1);
         }
     }
     if let Some(path) = &json {
@@ -277,6 +326,7 @@ fn run_guard_demo(recorder: &udf_obs::RecorderCell) -> GuardDemo {
         &opts,
         false,
         &cache,
+        ExecBackend::PerRecord,
     )
     .expect("demo consolidates");
     let records: Vec<Vec<i64>> = (0..64i64).map(|v| vec![v]).collect();
@@ -358,6 +408,7 @@ fn run_guard_demo(recorder: &udf_obs::RecorderCell) -> GuardDemo {
         &opts,
         false,
         &cache2,
+        ExecBackend::PerRecord,
     )
     .expect("demo reconsolidates");
     let path = std::env::temp_dir().join(format!("figure9-demo-{}.snap", std::process::id()));

@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use consolidate::Options;
-use naiad_lite::engine::{Engine, ExecMode, QuerySet};
+use naiad_lite::engine::{Engine, ExecBackend, ExecMode, QuerySet};
 use naiad_lite::env::UdfEnv;
 use std::time::{Duration, Instant};
 use udf_data::DomainKind;
@@ -37,6 +37,10 @@ pub struct FamilyRun {
     pub n_queries: usize,
     /// Records scanned.
     pub n_records: usize,
+    /// Total records evaluated per mode across all passes
+    /// (`n_records × passes`); the numerator of
+    /// [`FamilyRun::records_per_sec`].
+    pub scanned: usize,
     /// `where_many` UDF-phase wall time.
     pub many_udf: Duration,
     /// `where_consolidated` UDF-phase wall time.
@@ -80,6 +84,13 @@ pub struct FamilyRun {
     /// Transient-fault retry attempts spent across all passes and both
     /// modes — 0 unless a [`naiad_lite::RetryPolicy`] was active.
     pub retries: u64,
+    /// Execution backend the engine ran under.
+    pub backend: ExecBackend,
+    /// Order-insensitive digest of the observable outputs (per-query counts
+    /// and missing totals of both modes, plus the quarantined record set).
+    /// Two runs of the same cell under different backends must produce the
+    /// same digest — the cross-backend divergence check in CI compares it.
+    pub output_digest: u64,
 }
 
 impl FamilyRun {
@@ -91,6 +102,12 @@ impl FamilyRun {
     /// Total-time speedup, charging consolidation to the consolidated side.
     pub fn total_speedup(&self) -> f64 {
         self.many_total.as_secs_f64() / self.cons_total.as_secs_f64().max(1e-9)
+    }
+
+    /// Consolidated-scan throughput: records evaluated per second of
+    /// `where_consolidated` UDF time, across all passes.
+    pub fn records_per_sec(&self) -> f64 {
+        self.scanned as f64 / self.cons_udf.as_secs_f64().max(1e-9)
     }
 }
 
@@ -162,13 +179,15 @@ pub fn run_family_cached<E: UdfEnv>(
         cache,
         naiad_lite::GuardPolicy::default(),
         naiad_lite::RetryPolicy::default(),
+        ExecBackend::PerRecord,
     )
 }
 
-/// Like [`run_family_cached`] but with an explicit plan-guard and
-/// transient-retry configuration on the execution engine; the guard/retry
-/// counters land in the returned [`FamilyRun`] columns. The defaults (both
-/// disabled) make this exactly [`run_family_cached`].
+/// Like [`run_family_cached`] but with an explicit plan-guard,
+/// transient-retry, and execution-backend configuration on the engine; the
+/// guard/retry counters land in the returned [`FamilyRun`] columns. The
+/// defaults (guard/retry disabled, [`ExecBackend::PerRecord`]) make this
+/// exactly [`run_family_cached`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_family_guarded<E: UdfEnv>(
     domain: &str,
@@ -183,6 +202,7 @@ pub fn run_family_guarded<E: UdfEnv>(
     cache: Option<&plan_cache::PlanCache>,
     guard: naiad_lite::GuardPolicy,
     retry: naiad_lite::RetryPolicy,
+    backend: ExecBackend,
 ) -> FamilyRun {
     let cm = CostModel::default();
     let n_queries = programs.len();
@@ -194,7 +214,7 @@ pub fn run_family_guarded<E: UdfEnv>(
     let (merged, plan_outcome) = match cache {
         Some(cache) => {
             let (merged, outcome) = plan_cache::consolidate_many_cached(
-                cache, &programs, interner, &cm, &fns, opts, true,
+                cache, &programs, interner, &cm, &fns, opts, true, backend,
             )
             .expect("families share params and have distinct ids");
             (merged, Some(outcome))
@@ -228,6 +248,7 @@ pub fn run_family_guarded<E: UdfEnv>(
         })
         .with_guard(guard)
         .with_retry(retry)
+        .with_backend(backend)
         .with_recorder(opts.recorder.clone());
     let mut many_udf = Duration::ZERO;
     let mut cons_udf = Duration::ZERO;
@@ -265,12 +286,28 @@ pub fn run_family_guarded<E: UdfEnv>(
     let (many, cons) = first.expect("at least one pass");
     let many = naiad_lite::engine::JobReport { udf_time: many_udf, ..many };
     let cons = naiad_lite::engine::JobReport { udf_time: cons_udf, ..cons };
+    let output_digest = {
+        let mut h = Fnv64::new();
+        for report in [&many, &cons] {
+            for &c in &report.counts {
+                h.u64(c);
+            }
+            for &m in &report.missing {
+                h.u64(m);
+            }
+            for r in report.quarantine.records() {
+                h.u64(r as u64);
+            }
+        }
+        h.finish()
+    };
 
     FamilyRun {
         domain: domain.to_owned(),
         family: family.to_owned(),
         n_queries,
         n_records: records.len(),
+        scanned: records.len() * passes.max(1),
         many_udf: many.udf_time,
         cons_udf: cons.udf_time,
         many_total: compile_many + many.udf_time,
@@ -288,6 +325,27 @@ pub fn run_family_guarded<E: UdfEnv>(
         guard_mismatches,
         guard_demotions,
         retries,
+        backend,
+        output_digest,
+    }
+}
+
+/// FNV-1a, 64-bit — the digest behind [`FamilyRun::output_digest`].
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -344,11 +402,13 @@ pub fn run_domain(domain: DomainKind, scale: Scale, seed: u64, opts: &Options) -
         opts,
         naiad_lite::GuardPolicy::default(),
         naiad_lite::RetryPolicy::default(),
+        ExecBackend::PerRecord,
     )
 }
 
-/// Like [`run_domain`] but running every family under the given plan-guard
-/// and transient-retry configuration (see [`run_family_guarded`]).
+/// Like [`run_domain`] but running every family under the given plan-guard,
+/// transient-retry, and execution-backend configuration (see
+/// [`run_family_guarded`]).
 pub fn run_domain_guarded(
     domain: DomainKind,
     scale: Scale,
@@ -356,6 +416,7 @@ pub fn run_domain_guarded(
     opts: &Options,
     guard: naiad_lite::GuardPolicy,
     retry: naiad_lite::RetryPolicy,
+    backend: ExecBackend,
 ) -> Vec<FamilyRun> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -371,7 +432,7 @@ pub fn run_domain_guarded(
                 let programs = (fam.build)(scale.queries, seed, &mut interner);
                 out.push(run_family_guarded(
                     "weather", fam.label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes, None, guard, retry,
+                    scale.passes, None, guard, retry, backend,
                 ));
             }
         }
@@ -383,7 +444,7 @@ pub fn run_domain_guarded(
                 let programs = (fam.build)(scale.queries, seed, &mut interner);
                 out.push(run_family_guarded(
                     "flight", fam.label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes, None, guard, retry,
+                    scale.passes, None, guard, retry, backend,
                 ));
             }
         }
@@ -396,7 +457,7 @@ pub fn run_domain_guarded(
                 let programs = (fam.build)(scale.queries, seed, &mut interner);
                 out.push(run_family_guarded(
                     "news", fam.label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes, None, guard, retry,
+                    scale.passes, None, guard, retry, backend,
                 ));
             }
         }
@@ -409,7 +470,7 @@ pub fn run_domain_guarded(
                 let programs = (fam.build)(scale.queries, seed, &mut interner);
                 out.push(run_family_guarded(
                     "twitter", fam.label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes, None, guard, retry,
+                    scale.passes, None, guard, retry, backend,
                 ));
             }
         }
@@ -430,7 +491,7 @@ pub fn run_domain_guarded(
                 let programs = build(scale.queries, seed, &mut interner);
                 out.push(run_family_guarded(
                     "stock", label, &env, &records, programs, &mut interner, workers, opts,
-                    scale.passes, None, guard, retry,
+                    scale.passes, None, guard, retry, backend,
                 ));
             }
         }
@@ -490,7 +551,8 @@ pub fn family_runs_json(runs: &[FamilyRun]) -> String {
                 "\"many_udf_s\":{:.6},\"cons_udf_s\":{:.6},\"many_total_s\":{:.6},",
                 "\"cons_total_s\":{:.6},\"consolidation_s\":{:.6},\"udf_speedup\":{:.4},",
                 "\"total_speedup\":{:.4},\"merged_size\":{},\"source_size\":{},\"tier\":\"{}\",",
-                "\"smt_checks\":{},\"memo_hits\":{},\"outputs_agree\":{},\"quarantined\":{}}}"
+                "\"smt_checks\":{},\"memo_hits\":{},\"outputs_agree\":{},\"quarantined\":{},",
+                "\"backend\":\"{}\",\"records_per_sec\":{:.1},\"output_digest\":\"{:016x}\"}}"
             ),
             esc(&r.domain),
             esc(&r.family),
@@ -510,6 +572,9 @@ pub fn family_runs_json(runs: &[FamilyRun]) -> String {
             r.stats.memo_hits,
             r.outputs_agree,
             r.quarantined,
+            r.backend.as_str(),
+            r.records_per_sec(),
+            r.output_digest,
         ));
     }
     out.push_str("\n]\n");

@@ -79,6 +79,29 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// The cost table as a fixed-order array, one entry per primitive.
+    ///
+    /// This is the fingerprint hook consumed by plan caching and by the
+    /// register-bytecode lowering: any code that needs to hash or serialize
+    /// the model iterates this array instead of naming the fields, so adding
+    /// a primitive updates every consumer in one place. Order is stable:
+    /// `int_const, var, bool_const, not, connective, cmp, arith, assign,
+    /// branch, notify`.
+    pub fn components(&self) -> [Cost; 10] {
+        [
+            self.int_const,
+            self.var,
+            self.bool_const,
+            self.not,
+            self.connective,
+            self.cmp,
+            self.arith,
+            self.assign,
+            self.branch,
+            self.notify,
+        ]
+    }
+
     /// Static cost of evaluating an integer expression. Exact: the language
     /// evaluates every subexpression unconditionally.
     pub fn int_expr_cost(&self, e: &IntExpr, fns: &dyn FnCost) -> Cost {

@@ -120,6 +120,15 @@ pub const GUARD_DEMOTIONS: &str = "guard.demotions";
 /// Histogram (ns): wall-clock latency of one guard shadow run (the
 /// sequential re-evaluation plus the comparison).
 pub const GUARD_NS: &str = "engine.guard_ns";
+/// Histogram (ns): wall-clock latency of evaluating one record batch under
+/// the columnar backend (gather + all programs over every lane; policy
+/// handling of the lanes is accounted separately under
+/// [`ENGINE_RECORD_NS`]).
+pub const ENGINE_BATCH_NS: &str = "engine.batch_ns";
+/// Histogram (ns): wall-clock latency of lowering one stack-bytecode
+/// program to register bytecode (constant folding + copy propagation),
+/// summed over the programs of a query set and observed once per compile.
+pub const REGCODE_FOLD_NS: &str = "regcode.fold_ns";
 /// Counter: snapshot entries skipped by salvage-on-load because their
 /// payload was corrupt or truncated.
 pub const CACHE_SNAPSHOT_SALVAGED: &str = "cache.snapshot_salvaged";

@@ -68,6 +68,10 @@ pub struct ServeConfig {
     pub plan_cache: Option<Arc<PlanCache>>,
     /// Engine worker threads per epoch run.
     pub workers: usize,
+    /// Execution backend for epoch runs (per-record reference interpreter
+    /// or columnar record batches); also part of the plan-cache key so
+    /// cached plans never cross backends.
+    pub backend: naiad_lite::engine::ExecBackend,
     /// Metrics sink for the `serve.*` counters (and, shared with
     /// `consolidation.recorder`, the whole stack's).
     pub recorder: udf_obs::RecorderCell,
@@ -87,6 +91,7 @@ impl Default for ServeConfig {
             consolidation: consolidate::Options::default(),
             plan_cache: None,
             workers: 1,
+            backend: naiad_lite::engine::ExecBackend::default(),
             recorder: udf_obs::RecorderCell::noop(),
         }
     }
@@ -523,7 +528,13 @@ impl<E: UdfEnv> Service<E> {
             return;
         };
         let programs = self.plan.programs();
-        let key = PlanKey::derive(&programs, &self.interner, &self.config.consolidation, &self.cm);
+        let key = PlanKey::derive(
+            &programs,
+            &self.interner,
+            &self.config.consolidation,
+            &self.cm,
+            self.config.backend,
+        );
         let portable = PortableProgram::from_program(merged, &self.interner);
         let stats = consolidate::ConsolidationStats {
             tier: self.plan.tier(),
@@ -593,6 +604,7 @@ impl<E: UdfEnv> Service<E> {
             max_payload_samples: 0,
             plan_cache: self.config.plan_cache.clone(),
             entailment_memo: Some(Arc::clone(self.plan.memo())),
+            backend: self.config.backend,
             recorder: self.config.recorder.clone(),
         })
     }

@@ -1,0 +1,264 @@
+// Integration tests may unwrap freely; the clippy gate denies it in src/.
+#![allow(clippy::unwrap_used)]
+
+//! Backend parity: the columnar batch executor is observationally
+//! indistinguishable from the per-record reference interpreter.
+//!
+//! The engine's contract for [`naiad_lite::engine::ExecBackend`] is that the
+//! backend knob changes *throughput only*. Every observable of a job —
+//! per-query notification counts, missing totals, exact abstract cost,
+//! quarantine report (entries, ordering, kinds, details, retry accounting),
+//! and plan-guard verdicts — must be bit-identical between
+//! `ExecBackend::PerRecord` and `ExecBackend::Columnar`, including under
+//! injected library errors, UDF panics, fuel exhaustion mid-batch, and
+//! transient faults drained by retry.
+
+use naiad_lite::engine::{
+    Engine, EngineConfig, ErrorPolicy, ExecBackend, ExecMode, JobReport, QuerySet,
+};
+use naiad_lite::fault::{silence_injected_panics, FaultKind, FaultPlan, FaultyEnv};
+use naiad_lite::{GuardAction, GuardPolicy, RetryPolicy, ScalarEnv};
+use proptest::prelude::*;
+use udf_lang::ast::Program;
+use udf_lang::cost::CostModel;
+use udf_lang::intern::Interner;
+use udf_lang::library::Library;
+use udf_lang::FnLibrary;
+
+fn library(interner: &mut Interner) -> FnLibrary {
+    let probe = interner.intern("probe");
+    let half = interner.intern("half");
+    let mut lib = FnLibrary::new();
+    lib.register(probe, "probe", 1, 20, |a| a[0]);
+    lib.register(half, "half", 1, 10, |a| a[0] / 2);
+    lib
+}
+
+/// Threshold queries with a data-dependent spin loop, so lanes of one batch
+/// diverge (different trip counts) and fuel exhaustion can strike mid-loop.
+fn queries(interner: &mut Interner, n: u32) -> Vec<Program> {
+    (0..n)
+        .map(|k| {
+            udf_lang::parse::parse_program(
+                &format!(
+                    "program q{k} @{k} (v) {{
+                         p := probe(v);
+                         spin := half(p);
+                         while (spin > 40) {{ spin := spin - 1; }}
+                         if (p > {}) {{ notify true; }} else {{ notify false; }}
+                     }}",
+                    k * 10
+                ),
+                interner,
+            )
+            .expect("test program parses")
+        })
+        .collect()
+}
+
+struct Workload {
+    env: FaultyEnv<ScalarEnv>,
+    records: Vec<(usize, Vec<i64>)>,
+    queries: QuerySet,
+}
+
+fn workload(n_queries: u32, n_records: usize, faults: FaultPlan) -> Workload {
+    let mut interner = Interner::new();
+    let lib = library(&mut interner);
+    let programs = queries(&mut interner, n_queries);
+    let cm = CostModel::default();
+    let merged = consolidate::consolidate_many(
+        &programs,
+        &mut interner,
+        &cm,
+        &lib,
+        &consolidate::Options::default(),
+        false,
+    )
+    .expect("test queries consolidate");
+    let queries = QuerySet::compile_many(&programs, &cm, &|f| lib.cost(f))
+        .expect("many compiles")
+        .with_consolidated(&merged.program, &cm, &|f| lib.cost(f), Default::default())
+        .expect("merged compiles");
+    let trigger = interner.intern("probe");
+    let env = FaultyEnv::new(ScalarEnv::new(1, lib), trigger, faults)
+        .with_burn_value(1_000_000_000);
+    let records =
+        FaultyEnv::<ScalarEnv>::index_records((0..n_records as i64).map(|v| vec![v % 97]));
+    Workload {
+        env,
+        records,
+        queries,
+    }
+}
+
+/// Runs the workload once per backend with otherwise identical
+/// configuration, resetting the environment's transient-fault counters in
+/// between (they are consumable state, not part of the workload).
+fn run_both(
+    w: &Workload,
+    mode: ExecMode,
+    fuel: Option<u64>,
+    retry: RetryPolicy,
+    guard: GuardPolicy,
+) -> (JobReport, JobReport) {
+    let run = |backend: ExecBackend| {
+        w.env.reset_transients();
+        Engine::new(3)
+            .with_config(EngineConfig {
+                error_policy: ErrorPolicy::Quarantine { max_errors: 4096 },
+                backend,
+                retry,
+                guard,
+                fuel,
+                ..EngineConfig::default()
+            })
+            .run(&w.env, &w.records, &w.queries, mode, true)
+            .expect("quarantine policy never fails the job")
+    };
+    (run(ExecBackend::PerRecord), run(ExecBackend::Columnar))
+}
+
+/// Asserts every observable of the two reports is bit-identical. Wall-clock
+/// and metrics snapshots are excluded by construction (neither is part of
+/// the backend contract).
+fn assert_parity(per_record: &JobReport, columnar: &JobReport, ctx: &str) {
+    assert_eq!(per_record.counts, columnar.counts, "{ctx}: counts");
+    assert_eq!(per_record.missing, columnar.missing, "{ctx}: missing");
+    assert_eq!(per_record.cost, columnar.cost, "{ctx}: cost");
+    assert_eq!(per_record.records, columnar.records, "{ctx}: records");
+    assert_eq!(
+        per_record.quarantine, columnar.quarantine,
+        "{ctx}: quarantine report"
+    );
+    let g = |r: &JobReport| {
+        r.guard
+            .as_ref()
+            .map(|g| (g.shadow_runs, g.mismatches, g.demoted))
+    };
+    assert_eq!(g(per_record), g(columnar), "{ctx}: guard verdict");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6 })]
+
+    /// Seeded chaos sweep: random fault plans over all four fault kinds, a
+    /// fuel budget tight enough that burn records exhaust it mid-batch, and
+    /// retries that drain some (not all) transients. Both execution modes,
+    /// both backends, every observable identical.
+    #[test]
+    fn backends_agree_under_chaos(
+        seed in any::<u64>(),
+        n_faults in 0usize..24,
+        fuel in prop_oneof![Just(600u64), Just(5_000u64), Just(50_000u64)],
+        retries in 0u32..3,
+    ) {
+        silence_injected_panics();
+        let faults = FaultPlan::seeded_kinds(
+            seed,
+            96,
+            n_faults,
+            &[
+                FaultKind::LibError,
+                FaultKind::Panic,
+                FaultKind::FuelBurn,
+                FaultKind::Transient(2),
+            ],
+        );
+        let w = workload(4, 96, faults);
+        for mode in [ExecMode::Many, ExecMode::Consolidated] {
+            let (p, c) = run_both(
+                &w,
+                mode,
+                Some(fuel),
+                RetryPolicy::immediate(retries),
+                GuardPolicy::default(),
+            );
+            assert_parity(&p, &c, &format!("seed {seed} mode {mode:?}"));
+        }
+    }
+
+    /// The plan guard's shadow sampler sees the same records and reaches the
+    /// same verdicts whichever backend produced the primary outputs (the
+    /// shadow itself always runs the sequential reference).
+    #[test]
+    fn guard_verdicts_agree(seed in any::<u64>(), n_faults in 0usize..12) {
+        silence_injected_panics();
+        let faults = FaultPlan::seeded_kinds(
+            seed,
+            64,
+            n_faults,
+            &[FaultKind::LibError, FaultKind::Transient(1)],
+        );
+        let w = workload(3, 64, faults);
+        let guard = GuardPolicy {
+            on_mismatch: GuardAction::LogOnly,
+            ..GuardPolicy::audit_all()
+        };
+        let (p, c) = run_both(
+            &w,
+            ExecMode::Consolidated,
+            None,
+            RetryPolicy::immediate(2),
+            guard,
+        );
+        assert_parity(&p, &c, &format!("guarded seed {seed}"));
+        let g = p.guard.expect("guard was active");
+        prop_assert!(g.shadow_runs > 0, "audit_all must shadow records");
+        prop_assert_eq!(g.mismatches, 0, "Theorem 1: consolidated == sequential");
+    }
+}
+
+/// Deterministic spot check: a fuel budget that lands *inside* the spin
+/// loop quarantines the same records with the same per-entry detail under
+/// both backends — the batch executor's fuel accounting is exact, not
+/// approximate.
+#[test]
+fn fuel_exhaustion_mid_batch_is_exact() {
+    let w = workload(4, 128, FaultPlan::none());
+    let mut quarantined = 0usize;
+    for fuel in [5, 12, 20, 35, 60, 100, 350] {
+        let (p, c) = run_both(
+            &w,
+            ExecMode::Many,
+            Some(fuel),
+            RetryPolicy::default(),
+            GuardPolicy::default(),
+        );
+        assert_parity(&p, &c, &format!("fuel {fuel}"));
+        quarantined += p.quarantine.records_quarantined;
+    }
+    assert!(quarantined > 0, "the sweep must actually exhaust fuel");
+}
+
+/// Deterministic spot check: transients that exhaust the retry budget carry
+/// exact per-entry retry counts; transients that drain recover with
+/// identical recovery accounting.
+#[test]
+fn retry_accounting_is_identical() {
+    silence_injected_panics();
+    let mut plan = FaultPlan::none();
+    for r in [3usize, 17, 18, 40, 77] {
+        plan.insert(r, FaultKind::Transient(2));
+    }
+    plan.insert(50, FaultKind::Panic);
+    let w = workload(3, 96, plan);
+    for retries in [0u32, 1, 2, 3] {
+        let (p, c) = run_both(
+            &w,
+            ExecMode::Consolidated,
+            None,
+            RetryPolicy::immediate(retries),
+            GuardPolicy::default(),
+        );
+        assert_parity(&p, &c, &format!("retries {retries}"));
+        assert_eq!(
+            p.quarantine.retry_attempts, c.quarantine.retry_attempts,
+            "retries {retries}: attempts"
+        );
+        assert_eq!(
+            p.quarantine.records_recovered, c.quarantine.records_recovered,
+            "retries {retries}: recovered"
+        );
+    }
+}

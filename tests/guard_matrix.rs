@@ -93,6 +93,7 @@ fn harness(cache: &PlanCache, plan: FaultPlan) -> Harness {
         &opts,
         false,
         cache,
+        naiad_lite::engine::ExecBackend::PerRecord,
     )
     .expect("cached consolidation succeeds");
     let trigger = interner.intern("probe");

@@ -82,6 +82,7 @@ fn submit(cache: &PlanCache, plan: FaultPlan) -> Run {
         &opts,
         false,
         cache,
+        naiad_lite::engine::ExecBackend::PerRecord,
     )
     .expect("cached consolidation succeeds");
     let merged_text = udf_lang::pretty::program(&merged.program, &interner);

@@ -65,6 +65,7 @@ pub mod api;
 pub mod budget;
 pub mod delta;
 pub mod explain;
+pub mod homomorphism;
 pub mod invariants;
 pub mod memo;
 pub mod rules;
@@ -75,6 +76,7 @@ pub use api::{consolidate_many, consolidate_pair, consolidate_pair_prerenamed, C
               ConsolidateError, ConsolidationStats};
 pub use budget::{BudgetState, ConsolidationBudget, DegradationTier};
 pub use delta::{DeltaError, DeltaPlan, DeltaReport};
+pub use homomorphism::{consolidate_aggs, AggConsolidation, AggProofStats, ProofOutcome};
 pub use explain::{EntailmentEvent, EntailmentVia, ExplainEntry, ExplainNode, ExplainReport,
                   PairExplain};
 pub use memo::EntailmentMemo;

@@ -1,0 +1,960 @@
+//! Parallel execution of user-defined aggregations.
+//!
+//! [`Engine::run_agg`] evaluates a set of UDAF definitions over a shared
+//! record scan. Proved-homomorphic definitions (see
+//! `consolidate::homomorphism`) are folded in parallel: the input is cut
+//! into fixed-size chunks — the chunk grid depends only on the record
+//! count, never on the worker count — workers claim chunks from a shared
+//! counter, fold each chunk from the initial state, and the partial states
+//! are merged in a deterministic contiguous binary tree by chunk index.
+//! Results are therefore bit-identical at every worker count. Definitions
+//! whose proof failed (or was never attempted) run on a single sequential
+//! shard — the sound fallback tier.
+//!
+//! The two [`AggMode`]s mirror `whereMany`/`whereConsolidated`:
+//!
+//! * [`AggMode::Separate`] scans the input once *per definition* (each scan
+//!   decodes the record and runs one fold);
+//! * [`AggMode::Consolidated`] scans the input once *in total*: each record
+//!   is decoded once and every definition's fold runs over the shared
+//!   decode — the aggregation analogue of the paper's consolidated pass.
+//!
+//! Both modes use identical chunking, fold order and merge trees, so their
+//! outputs (states *and* quarantine reports) are bit-identical; only the
+//! scan count differs.
+//!
+//! Failure handling preserves the engine's quarantine invariants at
+//! (record, definition) granularity: a fold that faults or panics
+//! quarantines that record *for that definition only* — the definition's
+//! state simply does not absorb the record, other definitions fold it
+//! normally. State commits are all-or-nothing per fold step: a fold that
+//! dies mid-body leaves no partial mutation behind.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::compile::VmError;
+use crate::engine::{
+    Engine, EngineError, ErrorKind, ErrorPolicy, QuarantineEntry, QuarantineReport,
+};
+use crate::env::{RecordLibrary, UdfEnv};
+use consolidate::budget::DegradationTier;
+use udf_lang::agg::AggDef;
+use udf_lang::ast::ProgId;
+use udf_lang::cost::CostModel;
+use udf_lang::intern::Interner;
+use udf_lang::interp::{EvalError, Interp};
+use udf_lang::library::{FnLibrary, LibError};
+use udf_obs::{names, RecorderCell};
+
+/// Records per fold chunk. Fixed (worker-count independent) so the chunk
+/// grid — and with it every partial fold and the merge tree — is a pure
+/// function of the input length.
+pub const AGG_CHUNK: usize = 256;
+
+/// Which scan strategy evaluates the definitions (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggMode {
+    /// One scan per definition (the paper's `whereMany` analogue).
+    Separate,
+    /// One shared scan for all definitions.
+    Consolidated,
+}
+
+/// A proved-and-ready set of aggregation definitions sharing one scan.
+#[derive(Clone, Debug)]
+pub struct AggQuerySet {
+    /// The definitions, in output order.
+    pub defs: Vec<AggDef>,
+    /// Positional homomorphism verdicts; `false` pins the definition to the
+    /// sequential fallback shard.
+    pub proved: Vec<bool>,
+    /// Cost model charged by the fold/merge interpreter.
+    pub cost_model: CostModel,
+    /// Per-fold-step budget ([`crate::DEFAULT_FUEL`] by default; overridden
+    /// per job by [`crate::EngineConfig::fuel`]).
+    pub fuel: u64,
+    /// Wall-clock time the prover spent on this set.
+    pub consolidation_time: Duration,
+    /// Proof-side degradation tier (`Full` = every definition parallel).
+    pub tier: DegradationTier,
+    /// Cache key of the aggregation plan, when it came through a
+    /// [`plan_cache::PlanCache`].
+    pub plan_key: Option<plan_cache::PlanKey>,
+}
+
+impl AggQuerySet {
+    /// Wraps definitions with explicit proof verdicts (lengths must match).
+    pub fn new(defs: Vec<AggDef>, proved: Vec<bool>) -> AggQuerySet {
+        debug_assert_eq!(defs.len(), proved.len());
+        let tier = tier_of(&proved);
+        AggQuerySet {
+            defs,
+            proved,
+            cost_model: CostModel::default(),
+            fuel: crate::DEFAULT_FUEL,
+            consolidation_time: Duration::ZERO,
+            tier,
+            plan_key: None,
+        }
+    }
+
+    /// Wraps definitions with every proof obligation *assumed unproved*:
+    /// all of them run sequentially. The safe default.
+    pub fn sequential(defs: Vec<AggDef>) -> AggQuerySet {
+        let n = defs.len();
+        AggQuerySet::new(defs, vec![false; n])
+    }
+
+    /// Proves the homomorphism obligations via
+    /// [`consolidate::homomorphism::consolidate_aggs`] and wraps the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`consolidate::api::ConsolidateError`] on malformed sets.
+    pub fn prove(
+        defs: Vec<AggDef>,
+        interner: &mut Interner,
+        opts: &consolidate::Options,
+    ) -> Result<AggQuerySet, consolidate::api::ConsolidateError> {
+        let proof = consolidate::homomorphism::consolidate_aggs(&defs, interner, opts)?;
+        let mut qs = AggQuerySet::new(defs, proof.proved_flags());
+        qs.consolidation_time = proof.elapsed;
+        qs.tier = proof.tier;
+        Ok(qs)
+    }
+
+    /// Like [`AggQuerySet::prove`], but through a
+    /// [`plan_cache::PlanCache`]: warm verdicts skip the prover (and the
+    /// solver) entirely, and [`AggQuerySet::plan_key`] records the cache
+    /// entry so runtime incidents can invalidate it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`consolidate::api::ConsolidateError`] on malformed sets.
+    pub fn prove_cached(
+        defs: Vec<AggDef>,
+        interner: &mut Interner,
+        cm: CostModel,
+        opts: &consolidate::Options,
+        cache: &plan_cache::PlanCache,
+    ) -> Result<AggQuerySet, consolidate::api::ConsolidateError> {
+        let (proof, key, _outcome) =
+            plan_cache::consolidate_aggs_cached(cache, &defs, interner, &cm, opts)?;
+        let mut qs = AggQuerySet::new(defs, proof.proved_flags());
+        qs.cost_model = cm;
+        qs.consolidation_time = proof.elapsed;
+        qs.tier = proof.tier;
+        qs.plan_key = Some(key);
+        Ok(qs)
+    }
+
+    /// Overrides the per-fold-step fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> AggQuerySet {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost_model(mut self, cm: CostModel) -> AggQuerySet {
+        self.cost_model = cm;
+        self
+    }
+}
+
+fn tier_of(proved: &[bool]) -> DegradationTier {
+    match proved.iter().filter(|p| **p).count() {
+        n if n == proved.len() && n > 0 => DegradationTier::Full,
+        0 => DegradationTier::Sequential,
+        _ => DegradationTier::Partial,
+    }
+}
+
+/// Outcome of one [`Engine::run_agg`] job.
+#[derive(Clone, Debug)]
+pub struct AggReport {
+    /// Definition ids, in output order.
+    pub ids: Vec<ProgId>,
+    /// Which definitions ran parallel (copied from the query set, except
+    /// that a definition whose merge faulted at run time is demoted to the
+    /// sequential shard and reported `false` here).
+    pub proved: Vec<bool>,
+    /// Per-definition final state vectors, slot declaration order.
+    pub states: Vec<Vec<i64>>,
+    /// What was dropped instead of failing. Entries are (record,
+    /// definition) pairs — `records_quarantined` counts pair-exclusions,
+    /// not distinct records — globally sorted by (record, definition
+    /// position) and therefore worker-count deterministic.
+    pub quarantine: QuarantineReport,
+    /// Successful fold steps (surviving (record, definition) pairs).
+    pub folds: u64,
+    /// Partial-state merges executed (including any later discarded by a
+    /// merge-fault demotion).
+    pub merges: u64,
+    /// Records in the input (each scan covers all of them).
+    pub records: usize,
+    /// Wall-clock time of the fold phase (all scans).
+    pub udf_time: Duration,
+    /// Wall-clock time of the merge phase.
+    pub merge_time: Duration,
+    /// Degradation tier of the executed set (after run-time demotions).
+    pub tier: DegradationTier,
+    /// Snapshot of [`crate::EngineConfig::recorder`] at job end (`None`
+    /// when the recorder is the no-op default).
+    pub metrics: Option<udf_obs::MetricsSnapshot>,
+}
+
+/// Worker-local accumulator for one pass.
+#[derive(Default)]
+struct PassCounters {
+    folds: u64,
+    records_retried: usize,
+    retry_attempts: u64,
+    records_recovered: usize,
+}
+
+impl PassCounters {
+    fn absorb(&mut self, o: &PassCounters) {
+        self.folds += o.folds;
+        self.records_retried += o.records_retried;
+        self.retry_attempts += o.retry_attempts;
+        self.records_recovered += o.records_recovered;
+    }
+}
+
+/// One fold-step failure, pre-classification.
+enum FoldFault {
+    Eval(EvalError),
+    Panic(String),
+}
+
+impl FoldFault {
+    fn kind(&self) -> ErrorKind {
+        match self {
+            FoldFault::Eval(EvalError::DuplicateNotify(_)) => ErrorKind::DuplicateNotify,
+            FoldFault::Eval(EvalError::OutOfFuel) => ErrorKind::OutOfFuel,
+            FoldFault::Eval(_) => ErrorKind::Lib,
+            FoldFault::Panic(_) => ErrorKind::Panic,
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            FoldFault::Eval(e) => e.to_string(),
+            FoldFault::Panic(m) => m.clone(),
+        }
+    }
+
+    /// The [`EngineError`] this fault raises under
+    /// [`ErrorPolicy::FailFast`]. Interpreter-shape errors with no
+    /// [`VmError`] equivalent (unbound variable, arity mismatch) surface as
+    /// library errors carrying the rendered message.
+    fn fail_fast(self, record: usize) -> EngineError {
+        match self {
+            FoldFault::Eval(EvalError::Lib(e)) => EngineError::Record {
+                record,
+                error: VmError::Lib(e),
+            },
+            FoldFault::Eval(EvalError::OutOfFuel) => EngineError::Record {
+                record,
+                error: VmError::OutOfFuel,
+            },
+            FoldFault::Eval(e) => EngineError::Record {
+                record,
+                error: VmError::Lib(LibError::UnknownFunction(e.to_string())),
+            },
+            FoldFault::Panic(message) => EngineError::RecordPanic { record, message },
+        }
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+impl Engine {
+    /// Runs a set of user-defined aggregations over `records`.
+    ///
+    /// See the module docs for the execution model. The parameter list of
+    /// every definition must match `env.arity()`.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Record`] / [`EngineError::RecordPanic`] — first
+    ///   faulting (record, definition) pair under
+    ///   [`ErrorPolicy::FailFast`];
+    /// * [`EngineError::TooManyErrors`] — quarantine overflow under
+    ///   [`ErrorPolicy::Quarantine`];
+    /// * [`EngineError::WorkerPanicked`] — a worker died outside
+    ///   per-record execution.
+    pub fn run_agg<E: UdfEnv>(
+        &self,
+        env: &E,
+        records: &[E::Rec],
+        queries: &AggQuerySet,
+        interner: &Interner,
+        mode: AggMode,
+    ) -> Result<AggReport, EngineError> {
+        for def in &queries.defs {
+            if def.params.len() != env.arity() {
+                return Err(EngineError::Record {
+                    record: 0,
+                    error: VmError::Lib(LibError::ArityMismatch {
+                        name: "<aggregate>".to_string(),
+                        expected: env.arity(),
+                        got: def.params.len(),
+                    }),
+                });
+            }
+        }
+        let cfg = self.config();
+        let ctx = FoldCtx {
+            env,
+            interner,
+            cm: &queries.cost_model,
+            fuel: cfg.fuel.unwrap_or(queries.fuel),
+            max_retries: cfg.retry.max_retries,
+            fail_fast: matches!(cfg.error_policy, ErrorPolicy::FailFast),
+            workers: self.workers().max(1),
+            recorder: cfg.recorder.clone(),
+        };
+
+        let mut counters = PassCounters::default();
+        let mut merges = 0u64;
+        let n_defs = queries.defs.len();
+        let mut states: Vec<Vec<i64>> = vec![Vec::new(); n_defs];
+        let mut entries_by_def: Vec<Vec<QuarantineEntry>> = vec![Vec::new(); n_defs];
+        let mut proved_out = queries.proved.clone();
+
+        let fold_start = Instant::now();
+        let mut merge_time = Duration::ZERO;
+
+        let proved_idx: Vec<usize> = (0..n_defs).filter(|&i| queries.proved[i]).collect();
+
+        // Parallel phase: proved definitions, chunked + tree-merged.
+        // Separate mode runs one parallel pass per definition; consolidated
+        // mode runs a single pass decoding each record once for all of them.
+        let par_groups: Vec<Vec<usize>> = group_for_mode(mode, &proved_idx);
+        for group in &par_groups {
+            let chunks = ctx.parallel_chunks(records, queries, group)?;
+            // Deterministic contiguous tree merge per definition, driver
+            // side: chunk partials are reduced pairwise by chunk index, a
+            // pure function of the record count.
+            let mt = Instant::now();
+            for (gi, &di) in group.iter().enumerate() {
+                let def = &queries.defs[di];
+                let mut layer: Vec<Vec<i64>> =
+                    chunks.iter().map(|c| c.states[gi].clone()).collect();
+                if layer.is_empty() {
+                    layer.push(def.init_state());
+                }
+                let mut merge_ok = true;
+                while layer.len() > 1 && merge_ok {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        if pair.len() == 1 {
+                            next.push(pair[0].clone());
+                            continue;
+                        }
+                        match merge_states(def, &pair[0], &pair[1], &ctx) {
+                            Ok(s) => {
+                                merges += 1;
+                                next.push(s);
+                            }
+                            Err(_) => {
+                                merge_ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    layer = next;
+                }
+                if merge_ok {
+                    states[di] = layer.swap_remove(0);
+                } else {
+                    // A proved definition whose merge still faulted at run
+                    // time (symbolic proofs are total, execution is not:
+                    // e.g. a merge-local read before assignment). Demote to
+                    // the sequential shard — slower, identical to the
+                    // single-pass semantics.
+                    proved_out[di] = false;
+                }
+            }
+            merge_time += mt.elapsed();
+            for c in chunks {
+                counters.absorb(&c.counters);
+                for (gi, ents) in c.entries.into_iter().enumerate() {
+                    let di = group[gi];
+                    if proved_out[di] {
+                        entries_by_def[di].extend(ents);
+                    }
+                }
+            }
+        }
+
+        // Sequential phase: unproved definitions plus run-time demotions,
+        // single shard over the whole input. Consolidated mode shares one
+        // scan across all of them; separate mode scans per definition.
+        let seq_all: Vec<usize> = (0..n_defs).filter(|&i| !proved_out[i]).collect();
+        for group in &group_for_mode(mode, &seq_all) {
+            let shard = ctx.fold_span(records, 0, records.len(), queries, group)?;
+            counters.absorb(&shard.counters);
+            for (gi, (st, ents)) in shard.states.into_iter().zip(shard.entries).enumerate() {
+                states[group[gi]] = st;
+                entries_by_def[group[gi]] = ents;
+            }
+        }
+        let udf_time = fold_start.elapsed().saturating_sub(merge_time);
+
+        // Globally-sorted quarantine report: (record, definition position).
+        let mut merged: Vec<(usize, usize, QuarantineEntry)> = Vec::new();
+        for (di, ents) in entries_by_def.iter_mut().enumerate() {
+            for e in std::mem::take(ents) {
+                merged.push((e.record, di, e));
+            }
+        }
+        merged.sort_by_key(|(r, d, _)| (*r, *d));
+        let mut all: Vec<QuarantineEntry> = Vec::with_capacity(merged.len());
+        for (i, (_, _, mut e)) in merged.into_iter().enumerate() {
+            if i >= cfg.max_payload_samples {
+                e.sample = None;
+            }
+            all.push(e);
+        }
+
+        if let ErrorPolicy::Quarantine { max_errors } = cfg.error_policy {
+            if all.len() > max_errors {
+                return Err(EngineError::TooManyErrors {
+                    limit: max_errors,
+                    observed: all.len(),
+                });
+            }
+        }
+        let quarantine = QuarantineReport {
+            records_quarantined: all.len(),
+            entries: all,
+            shards_lost: 0,
+            records_lost: 0,
+            records_retried: counters.records_retried,
+            retry_attempts: counters.retry_attempts,
+            records_recovered: counters.records_recovered,
+        };
+
+        // Emit the metrics surface from the same counters the report
+        // carries, so recorder and report agree by construction.
+        cfg.recorder.add(names::AGG_FOLDS, counters.folds);
+        cfg.recorder.add(names::AGG_MERGES, merges);
+        cfg.recorder.add(names::ENGINE_RECORDS, records.len() as u64);
+
+        Ok(AggReport {
+            ids: queries.defs.iter().map(|d| d.id).collect(),
+            tier: tier_of(&proved_out),
+            proved: proved_out,
+            states,
+            quarantine,
+            folds: counters.folds,
+            merges,
+            records: records.len(),
+            udf_time,
+            merge_time,
+            metrics: cfg.recorder.snapshot(),
+        })
+    }
+}
+
+/// Consolidated mode folds a group of definitions over one scan; separate
+/// mode gives each its own scan.
+fn group_for_mode(mode: AggMode, idx: &[usize]) -> Vec<Vec<usize>> {
+    match mode {
+        AggMode::Separate => idx.iter().map(|&i| vec![i]).collect(),
+        AggMode::Consolidated if idx.is_empty() => Vec::new(),
+        AggMode::Consolidated => vec![idx.to_vec()],
+    }
+}
+
+/// Immutable fold-execution context shared by workers.
+struct FoldCtx<'a, E: UdfEnv> {
+    env: &'a E,
+    interner: &'a Interner,
+    cm: &'a CostModel,
+    fuel: u64,
+    max_retries: u32,
+    fail_fast: bool,
+    workers: usize,
+    recorder: RecorderCell,
+}
+
+/// One chunk's outputs for the definitions of a pass group.
+struct ChunkResult {
+    states: Vec<Vec<i64>>,
+    entries: Vec<Vec<QuarantineEntry>>,
+    counters: PassCounters,
+}
+
+impl<'a, E: UdfEnv> FoldCtx<'a, E> {
+    /// Folds `[lo, hi)` sequentially for the given definitions, decoding
+    /// each record once for the whole group.
+    fn fold_span(
+        &self,
+        records: &[E::Rec],
+        lo: usize,
+        hi: usize,
+        queries: &AggQuerySet,
+        group: &[usize],
+    ) -> Result<ChunkResult, EngineError> {
+        let mut states: Vec<Vec<i64>> =
+            group.iter().map(|&di| queries.defs[di].init_state()).collect();
+        let mut entries: Vec<Vec<QuarantineEntry>> = group.iter().map(|_| Vec::new()).collect();
+        let mut counters = PassCounters::default();
+        let timing = self.recorder.enabled();
+        let mut args: Vec<i64> = Vec::with_capacity(self.env.arity());
+        for (off, rec) in records[lo..hi].iter().enumerate() {
+            let ridx = lo + off;
+            args.clear();
+            self.env.args(rec, &mut args);
+            let span = timing.then(|| self.recorder.span(names::ENGINE_FOLD_NS));
+            for (gi, &di) in group.iter().enumerate() {
+                let def = &queries.defs[di];
+                if let Err((fault, retries)) =
+                    self.fold_one(rec, &args, def, &mut states[gi], &mut counters)
+                {
+                    if self.fail_fast {
+                        return Err(fault.fail_fast(ridx));
+                    }
+                    entries[gi].push(QuarantineEntry {
+                        record: ridx,
+                        query: Some(def.id),
+                        kind: fault.kind(),
+                        detail: fault.detail(),
+                        sample: Some(args.clone()),
+                        retries,
+                    });
+                }
+            }
+            drop(span);
+        }
+        Ok(ChunkResult {
+            states,
+            entries,
+            counters,
+        })
+    }
+
+    /// One fold step with scratch-copy commit and transient retry.
+    ///
+    /// Transient library faults are retried up to `max_retries` times;
+    /// in-memory folds retry immediately, without the record path's
+    /// backoff sleeps.
+    fn fold_one(
+        &self,
+        rec: &E::Rec,
+        args: &[i64],
+        def: &AggDef,
+        state: &mut [i64],
+        counters: &mut PassCounters,
+    ) -> Result<(), (FoldFault, u32)> {
+        let mut retries = 0u32;
+        loop {
+            let mut work: BTreeMap<udf_lang::Symbol, i64> = BTreeMap::new();
+            for (slot, &v) in def.state.iter().zip(state.iter()) {
+                work.insert(slot.name, v);
+            }
+            for (&p, &a) in def.params.iter().zip(args) {
+                work.insert(p, a);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let lib = RecordLibrary::new(self.env, rec);
+                let interp = Interp::new(self.cm.clone(), &lib).with_fuel(self.fuel);
+                let mut w = work;
+                interp.stmt_in(&mut w, &def.fold, self.interner).map(|_| w)
+            }));
+            match outcome {
+                Ok(Ok(w)) => {
+                    for (slot, v) in def.state.iter().zip(state.iter_mut()) {
+                        if let Some(&nv) = w.get(&slot.name) {
+                            *v = nv;
+                        }
+                    }
+                    counters.folds += 1;
+                    if retries > 0 {
+                        counters.records_retried += 1;
+                        counters.retry_attempts += u64::from(retries);
+                        counters.records_recovered += 1;
+                    }
+                    return Ok(());
+                }
+                Ok(Err(EvalError::Lib(LibError::Transient(_)))) if retries < self.max_retries => {
+                    retries += 1;
+                }
+                Ok(Err(e)) => {
+                    if retries > 0 {
+                        counters.records_retried += 1;
+                        counters.retry_attempts += u64::from(retries);
+                    }
+                    return Err((FoldFault::Eval(e), retries));
+                }
+                Err(p) => {
+                    if retries > 0 {
+                        counters.records_retried += 1;
+                        counters.retry_attempts += u64::from(retries);
+                    }
+                    return Err((FoldFault::Panic(panic_message(p)), retries));
+                }
+            }
+        }
+    }
+
+    /// Chunked parallel fold of the whole input for one pass group. Chunk
+    /// results are collected by chunk index, so any [`EngineError`] (e.g.
+    /// fail-fast) surfaces from the lowest faulting chunk — worker-count
+    /// deterministic.
+    fn parallel_chunks(
+        &self,
+        records: &[E::Rec],
+        queries: &AggQuerySet,
+        group: &[usize],
+    ) -> Result<Vec<ChunkResult>, EngineError> {
+        let n_chunks = records.len().div_ceil(AGG_CHUNK).max(1);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<Result<ChunkResult, EngineError>>>> =
+            (0..n_chunks).map(|_| std::sync::Mutex::new(None)).collect();
+        let workers = self.workers.min(n_chunks);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                let slots = &slots;
+                handles.push(scope.spawn(move || loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        return;
+                    }
+                    let lo = c * AGG_CHUNK;
+                    let hi = ((c + 1) * AGG_CHUNK).min(records.len());
+                    let r = self.fold_span(records, lo, hi, queries, group);
+                    if let Ok(mut slot) = slots[c].lock() {
+                        *slot = Some(r);
+                    }
+                }));
+            }
+            for (shard, h) in handles.into_iter().enumerate() {
+                if h.join().is_err() {
+                    return Err(EngineError::WorkerPanicked {
+                        shard,
+                        message: "aggregation worker panicked".to_string(),
+                    });
+                }
+            }
+            Ok(())
+        })?;
+        let mut out = Vec::with_capacity(n_chunks);
+        for slot in slots {
+            match slot.into_inner() {
+                Ok(Some(r)) => out.push(r?),
+                _ => {
+                    return Err(EngineError::WorkerPanicked {
+                        shard: 0,
+                        message: "aggregation chunk result missing".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Merges two partial states through the definition's merge body. The body
+/// is validated call-free, so an empty library suffices; any residual
+/// evaluation error (e.g. a merge-local read before assignment) is
+/// returned for the caller to demote the definition.
+fn merge_states<E: UdfEnv>(
+    def: &AggDef,
+    left: &[i64],
+    right: &[i64],
+    ctx: &FoldCtx<'_, E>,
+) -> Result<Vec<i64>, EvalError> {
+    let lib = FnLibrary::new();
+    let interp = Interp::new(ctx.cm.clone(), &lib).with_fuel(ctx.fuel);
+    let mut work: BTreeMap<udf_lang::Symbol, i64> = BTreeMap::new();
+    for (slot, &v) in def.state.iter().zip(left) {
+        work.insert(slot.name, v);
+    }
+    for (slot, &v) in def.state.iter().zip(right) {
+        work.insert(slot.rhs, v);
+    }
+    interp.stmt_in(&mut work, &def.merge, ctx.interner)?;
+    Ok(def
+        .state
+        .iter()
+        .map(|slot| work.get(&slot.name).copied().unwrap_or(0))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, RetryPolicy};
+    use crate::env::ScalarEnv;
+    use crate::fault::{silence_injected_panics, FaultKind, FaultPlan, FaultyEnv};
+    use udf_lang::agg::parse_aggs;
+    use udf_lang::library::FnLibrary;
+
+    fn sum_count_defs(interner: &mut Interner) -> Vec<AggDef> {
+        parse_aggs(
+            "aggregate sum @1 (x) {
+                 state s = 0;
+                 fold { s := s + x; }
+                 merge { s := s + rhs_s; }
+             }
+             aggregate count @2 (x) {
+                 state c = 0;
+                 fold { c := c + 1; }
+                 merge { c := c + rhs_c; }
+             }",
+            interner,
+        )
+        .expect("parse")
+    }
+
+    fn scalar_records(n: usize) -> Vec<Vec<i64>> {
+        (0..n).map(|i| vec![(i as i64 * 7) % 101 - 13]).collect()
+    }
+
+    fn quarantine_engine(workers: usize) -> Engine {
+        Engine::new(workers).with_config(EngineConfig {
+            error_policy: ErrorPolicy::Quarantine { max_errors: 1000 },
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn sum_count_bit_identical_across_modes_and_workers() {
+        let mut interner = Interner::new();
+        let defs = sum_count_defs(&mut interner);
+        let records = scalar_records(1000);
+        let expect_sum: i64 = records.iter().map(|r| r[0]).sum();
+        let env = ScalarEnv::new(1, FnLibrary::new());
+        let queries = AggQuerySet::new(defs, vec![true, true]);
+        let mut seen: Option<Vec<Vec<i64>>> = None;
+        for workers in [1usize, 2, 8] {
+            for mode in [AggMode::Separate, AggMode::Consolidated] {
+                let engine = quarantine_engine(workers);
+                let rep = engine
+                    .run_agg(&env, &records, &queries, &interner, mode)
+                    .expect("run");
+                assert_eq!(rep.states[0], vec![expect_sum]);
+                assert_eq!(rep.states[1], vec![1000]);
+                assert!(rep.quarantine.entries.is_empty());
+                assert_eq!(rep.folds, 2000);
+                assert!(rep.merges > 0, "1000 records span multiple chunks");
+                assert_eq!(rep.tier, DegradationTier::Full);
+                match &seen {
+                    None => seen = Some(rep.states.clone()),
+                    Some(s) => assert_eq!(s, &rep.states),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unproved_defs_fold_sequentially_to_the_same_states() {
+        let mut interner = Interner::new();
+        let defs = sum_count_defs(&mut interner);
+        let records = scalar_records(700);
+        let env = ScalarEnv::new(1, FnLibrary::new());
+        let proved = AggQuerySet::new(defs.clone(), vec![true, true]);
+        let seq = AggQuerySet::sequential(defs);
+        let engine = quarantine_engine(4);
+        let a = engine
+            .run_agg(&env, &records, &proved, &interner, AggMode::Consolidated)
+            .expect("proved");
+        let b = engine
+            .run_agg(&env, &records, &seq, &interner, AggMode::Consolidated)
+            .expect("sequential");
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.tier, DegradationTier::Full);
+        assert_eq!(b.tier, DegradationTier::Sequential);
+        assert_eq!(b.merges, 0, "sequential shard never merges");
+    }
+
+    #[test]
+    fn panic_quarantines_only_the_owning_udaf() {
+        silence_injected_panics();
+        let mut interner = Interner::new();
+        let boom = interner.intern("boom");
+        let defs = parse_aggs(
+            "aggregate risky @1 (x) {
+                 state b = 0;
+                 fold { v := boom(x); b := b + v; }
+                 merge { b := b + rhs_b; }
+             }
+             aggregate safe @2 (x) {
+                 state s = 0;
+                 fold { s := s + x; }
+                 merge { s := s + rhs_s; }
+             }",
+            &mut interner,
+        )
+        .expect("parse");
+        let mut lib = FnLibrary::new();
+        lib.register(boom, "boom", 1, 1, |a| a[0] * 2);
+        let inner = ScalarEnv::new(1, lib);
+        let env = FaultyEnv::new(inner, boom, FaultPlan::single(5, FaultKind::Panic));
+        let records = FaultyEnv::<ScalarEnv>::index_records(scalar_records(600));
+        let queries = AggQuerySet::new(defs, vec![true, true]);
+        for workers in [1usize, 2, 8] {
+            for mode in [AggMode::Separate, AggMode::Consolidated] {
+                let rep = quarantine_engine(workers)
+                    .run_agg(&env, &records, &queries, &interner, mode)
+                    .expect("run");
+                let expect_risky: i64 = records
+                    .iter()
+                    .filter(|(i, _)| *i != 5)
+                    .map(|(_, r)| r[0] * 2)
+                    .sum();
+                let expect_safe: i64 = records.iter().map(|(_, r)| r[0]).sum();
+                assert_eq!(rep.states[0], vec![expect_risky], "record 5 excluded");
+                assert_eq!(rep.states[1], vec![expect_safe], "safe def absorbs all");
+                assert_eq!(rep.quarantine.entries.len(), 1);
+                let e = &rep.quarantine.entries[0];
+                assert_eq!(e.record, 5);
+                assert_eq!(e.query, Some(udf_lang::ast::ProgId(1)));
+                assert_eq!(e.kind, ErrorKind::Panic);
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_raises_the_first_faulting_pair() {
+        silence_injected_panics();
+        let mut interner = Interner::new();
+        let boom = interner.intern("boom");
+        let defs = parse_aggs(
+            "aggregate risky @1 (x) {
+                 state b = 0;
+                 fold { v := boom(x); b := b + v; }
+                 merge { b := b + rhs_b; }
+             }",
+            &mut interner,
+        )
+        .expect("parse");
+        let mut lib = FnLibrary::new();
+        lib.register(boom, "boom", 1, 1, |a| a[0]);
+        let env = FaultyEnv::new(
+            ScalarEnv::new(1, lib),
+            boom,
+            FaultPlan::single(300, FaultKind::Panic),
+        );
+        let records = FaultyEnv::<ScalarEnv>::index_records(scalar_records(600));
+        let queries = AggQuerySet::new(defs, vec![true]);
+        let err = Engine::new(4)
+            .run_agg(&env, &records, &queries, &interner, AggMode::Consolidated)
+            .expect_err("fail fast");
+        match err {
+            EngineError::RecordPanic { record, .. } => assert_eq!(record, 300),
+            other => panic!("expected RecordPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_faults_retry_and_recover() {
+        let mut interner = Interner::new();
+        let tick = interner.intern("tick");
+        let defs = parse_aggs(
+            "aggregate total @1 (x) {
+                 state s = 0;
+                 fold { s := s + tick(x); }
+                 merge { s := s + rhs_s; }
+             }",
+            &mut interner,
+        )
+        .expect("parse");
+        let mut lib = FnLibrary::new();
+        lib.register(tick, "tick", 1, 1, |a| a[0]);
+        let env = FaultyEnv::new(
+            ScalarEnv::new(1, lib),
+            tick,
+            FaultPlan::single(7, FaultKind::Transient(2)),
+        );
+        let records = FaultyEnv::<ScalarEnv>::index_records(scalar_records(50));
+        let queries = AggQuerySet::new(defs, vec![true]);
+        let expect: i64 = records.iter().map(|(_, r)| r[0]).sum();
+
+        // Not enough retries: the record is quarantined.
+        let rep = quarantine_engine(2)
+            .run_agg(&env, &records, &queries, &interner, AggMode::Consolidated)
+            .expect("run");
+        assert_eq!(rep.quarantine.entries.len(), 1);
+        assert_eq!(rep.states[0], vec![expect - records[7].1[0]]);
+
+        // Enough retries: the record recovers.
+        env.reset_transients();
+        let cfg = EngineConfig {
+            error_policy: ErrorPolicy::Quarantine { max_errors: 1000 },
+            retry: RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            },
+            ..EngineConfig::default()
+        };
+        let rep = Engine::new(2)
+            .with_config(cfg)
+            .run_agg(&env, &records, &queries, &interner, AggMode::Consolidated)
+            .expect("run");
+        assert!(rep.quarantine.entries.is_empty());
+        assert_eq!(rep.states[0], vec![expect]);
+        assert_eq!(rep.quarantine.records_retried, 1);
+        assert_eq!(rep.quarantine.records_recovered, 1);
+    }
+
+    #[test]
+    fn merge_fault_demotes_to_sequential_not_wrong() {
+        // A loopy merge is refused by the prover, but `AggQuerySet::new`
+        // lets a caller assert anything; here the merge exhausts its fuel at
+        // run time and the run-time demotion keeps execution sound anyway.
+        let mut interner = Interner::new();
+        let defs = parse_aggs(
+            "aggregate sneaky @1 (x) {
+                 state s = 0;
+                 fold { s := s + x; }
+                 merge {
+                     i := 0;
+                     while (i < 1000000) { i := i + 1; }
+                     s := s + rhs_s;
+                 }
+             }",
+            &mut interner,
+        )
+        .expect("parse");
+        let records = scalar_records(600);
+        let expect: i64 = records.iter().map(|r| r[0]).sum();
+        let env = ScalarEnv::new(1, FnLibrary::new());
+        let queries = AggQuerySet::new(defs, vec![true]).with_fuel(1000);
+        let rep = quarantine_engine(4)
+            .run_agg(&env, &records, &queries, &interner, AggMode::Consolidated)
+            .expect("run");
+        assert_eq!(rep.proved, vec![false], "demoted at run time");
+        assert_eq!(rep.tier, DegradationTier::Sequential);
+        assert_eq!(rep.states[0], vec![expect], "sequential rerun is correct");
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_up_front() {
+        let mut interner = Interner::new();
+        let defs = sum_count_defs(&mut interner);
+        let env = ScalarEnv::new(2, FnLibrary::new());
+        let queries = AggQuerySet::new(defs, vec![true, true]);
+        let err = Engine::new(1)
+            .run_agg(&env, &[vec![1, 2]], &queries, &interner, AggMode::Separate)
+            .expect_err("arity");
+        assert!(matches!(err, EngineError::Record { record: 0, .. }));
+    }
+}

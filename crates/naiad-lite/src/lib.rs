@@ -32,6 +32,11 @@
 //!   faulting or panicking records are excluded from every query's output
 //!   and accounted in a [`engine::QuarantineReport`] instead of aborting
 //!   the job;
+//! * [`agg`] — user-defined aggregations: homomorphism-proved UDAFs fold
+//!   in parallel over a fixed chunk grid and merge in a deterministic tree
+//!   (bit-identical at every worker count); unproved definitions fall back
+//!   to a sequential shard, and consolidated mode shares one scan and one
+//!   record decode across every UDAF;
 //! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`] /
 //!   [`fault::FaultyEnv`]) for exercising the failure model in tests;
 //! * [`guard`] — differential plan validation: a [`guard::GuardPolicy`]
@@ -47,6 +52,7 @@
 // Production code must justify fallibility; tests may unwrap freely.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod agg;
 pub mod batch;
 pub mod compile;
 pub mod engine;
@@ -55,6 +61,7 @@ pub mod fault;
 pub mod guard;
 pub mod regcode;
 
+pub use agg::{AggMode, AggQuerySet, AggReport, AGG_CHUNK};
 pub use batch::{BatchVm, RecordBatch};
 pub use compile::{CompileError, Compiled, Vm, DEFAULT_FUEL};
 pub use engine::{

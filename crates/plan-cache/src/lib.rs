@@ -49,7 +49,7 @@ use udf_lang::canon::Fnv128;
 use udf_lang::cost::{CostModel, FnCost};
 use udf_lang::intern::Interner;
 
-pub use portable::PortableProgram;
+pub use portable::{PortableAggDef, PortableAggPlan, PortablePlan, PortableProgram};
 pub use snapshot::SnapshotRecovery;
 
 /// Which execution backend a consolidated plan is compiled for.
@@ -155,13 +155,50 @@ impl PlanKey {
         }
         PlanKey(h.finish())
     }
+
+    /// Derives the key for proving the aggregation set `defs` (in order)
+    /// under `opts` and `cm`.
+    ///
+    /// Aggregation plans occupy a key space disjoint from program plans: the
+    /// fingerprint starts from [`udf_lang::agg::agg_set_key`] (its own
+    /// domain tag) and folds an additional `aggplan` discriminant byte, so a
+    /// UDAF set and a program set can never collide. The covered options are
+    /// the ones that decide homomorphism verdicts — entailment mode and
+    /// solver resource limits — plus the cost model charged by fold/merge
+    /// execution; rule policies that only shape Ω's program output are
+    /// deliberately excluded.
+    pub fn derive_agg(
+        defs: &[udf_lang::AggDef],
+        interner: &Interner,
+        opts: &Options,
+        cm: &CostModel,
+    ) -> PlanKey {
+        let mut h = Fnv128::new();
+        h.byte(0xA9);
+        h.u128(udf_lang::agg_set_key(defs, interner));
+        h.byte(match opts.mode {
+            consolidate::EntailmentMode::Smt => 1,
+            consolidate::EntailmentMode::Syntactic => 2,
+        });
+        h.u64(opts.solver.max_conflicts);
+        h.u64(opts.solver.max_final_checks);
+        h.u64(opts.solver.theory_limits.lia_budget);
+        h.u64(opts.solver.theory_limits.max_probe_pairs as u64);
+        h.u64(opts.solver.theory_limits.max_rounds as u64);
+        h.u64(opts.solver.minimize_up_to as u64);
+        for cost in cm.components() {
+            h.u64(cost);
+        }
+        PlanKey(h.finish())
+    }
 }
 
 /// One cached consolidated plan.
 #[derive(Clone, Debug)]
 pub struct CachedPlan {
-    /// The merged program, interner-independent.
-    pub program: PortableProgram,
+    /// The stored plan — a merged program or a proved aggregation set —
+    /// interner-independent either way.
+    pub plan: PortablePlan,
     /// Statistics of the run that produced it.
     pub stats: ConsolidationStats,
     /// Degradation tier of the stored plan (drives the upgrade rule).
@@ -171,14 +208,39 @@ pub struct CachedPlan {
 }
 
 impl CachedPlan {
-    /// Packages a consolidation result for caching.
+    /// Packages a program consolidation result for caching.
     pub fn new(program: PortableProgram, stats: ConsolidationStats) -> CachedPlan {
-        let bytes = program.approx_bytes() + std::mem::size_of::<CachedPlan>();
+        CachedPlan::from_plan(PortablePlan::Program(program), stats)
+    }
+
+    /// Packages a proved aggregation set for caching.
+    pub fn new_agg(plan: PortableAggPlan, stats: ConsolidationStats) -> CachedPlan {
+        CachedPlan::from_plan(PortablePlan::Agg(plan), stats)
+    }
+
+    fn from_plan(plan: PortablePlan, stats: ConsolidationStats) -> CachedPlan {
+        let bytes = plan.approx_bytes() + std::mem::size_of::<CachedPlan>();
         CachedPlan {
-            program,
+            plan,
             tier: stats.tier,
             stats,
             bytes,
+        }
+    }
+
+    /// The stored program, when this entry holds a program plan.
+    pub fn program(&self) -> Option<&PortableProgram> {
+        match &self.plan {
+            PortablePlan::Program(p) => Some(p),
+            PortablePlan::Agg(_) => None,
+        }
+    }
+
+    /// The stored aggregation plan, when this entry holds one.
+    pub fn agg(&self) -> Option<&PortableAggPlan> {
+        match &self.plan {
+            PortablePlan::Program(_) => None,
+            PortablePlan::Agg(a) => Some(a),
         }
     }
 }
@@ -578,38 +640,46 @@ pub fn consolidate_many_cached(
     }
     let start = Instant::now();
     let key = PlanKey::derive(programs, interner, opts, cm, backend);
-    let cached = cache.get(key);
+    // Defensive: the agg key space is disjoint by construction, but an
+    // entry of the wrong shape is treated as a miss rather than served.
+    let cached = cache.get(key).filter(|p| p.program().is_some());
     if let Some(plan) = &cached {
         let budget_spent = BudgetState::new(&opts.budget).exhausted();
         if plan.tier == DegradationTier::Full || budget_spent {
-            let mut stats = plan.stats;
-            stats.solver = udf_smt::SolverStats::default();
-            opts.recorder.add(udf_obs::names::PLAN_CACHE_HIT, 1);
-            return Ok((
-                Consolidated {
-                    program: plan.program.to_program(interner),
-                    stats,
-                    elapsed: start.elapsed(),
-                    explain: None,
-                },
-                PlanOutcome::Hit,
-            ));
+            if let Some(pp) = plan.program() {
+                let mut stats = plan.stats;
+                stats.solver = udf_smt::SolverStats::default();
+                opts.recorder.add(udf_obs::names::PLAN_CACHE_HIT, 1);
+                return Ok((
+                    Consolidated {
+                        program: pp.to_program(interner),
+                        stats,
+                        elapsed: start.elapsed(),
+                        explain: None,
+                    },
+                    PlanOutcome::Hit,
+                ));
+            }
         }
     }
     // Miss, or a degraded entry under a live budget: consolidate fresh.
     let fresh = consolidate::consolidate_many(programs, interner, cm, fns, opts, parallel)?;
-    match cached {
-        // Upgrade attempt: keep whichever plan sits higher on the tier
-        // lattice (`Full < Partial < Sequential` in the derived order), so
-        // a cached Partial is never displaced by a fresh Sequential.
-        Some(old) if fresh.stats.tier > old.tier => {
+    // Upgrade attempt: keep whichever plan sits higher on the tier lattice
+    // (`Full < Partial < Sequential` in the derived order), so a cached
+    // Partial is never displaced by a fresh Sequential.
+    let stored_better = match &cached {
+        Some(old) if fresh.stats.tier > old.tier => old.program().map(|pp| (old, pp)),
+        _ => None,
+    };
+    match stored_better {
+        Some((old, pp)) => {
             let mut stats = old.stats;
             stats.solver = fresh.stats.solver;
             stats.memo_hits += fresh.stats.memo_hits;
             opts.recorder.add(udf_obs::names::PLAN_CACHE_UPGRADE, 1);
             Ok((
                 Consolidated {
-                    program: old.program.to_program(interner),
+                    program: pp.to_program(interner),
                     stats,
                     elapsed: start.elapsed(),
                     explain: None,
@@ -617,17 +687,95 @@ pub fn consolidate_many_cached(
                 PlanOutcome::Upgrade,
             ))
         }
-        Some(_) => {
-            let portable = PortableProgram::from_program(&fresh.program, interner);
-            cache.insert(key, CachedPlan::new(portable, fresh.stats));
-            opts.recorder.add(udf_obs::names::PLAN_CACHE_UPGRADE, 1);
-            Ok((fresh, PlanOutcome::Upgrade))
-        }
         None => {
             let portable = PortableProgram::from_program(&fresh.program, interner);
             cache.insert(key, CachedPlan::new(portable, fresh.stats));
-            opts.recorder.add(udf_obs::names::PLAN_CACHE_MISS, 1);
-            Ok((fresh, PlanOutcome::Miss))
+            if cached.is_some() {
+                opts.recorder.add(udf_obs::names::PLAN_CACHE_UPGRADE, 1);
+                Ok((fresh, PlanOutcome::Upgrade))
+            } else {
+                opts.recorder.add(udf_obs::names::PLAN_CACHE_MISS, 1);
+                Ok((fresh, PlanOutcome::Miss))
+            }
+        }
+    }
+}
+
+/// Proves the homomorphism obligations of `defs` through `cache`: serves
+/// stored verdicts when the tier-upgrade rule allows it, otherwise runs
+/// [`consolidate::consolidate_aggs`] and stores the result.
+///
+/// On a [`PlanOutcome::Hit`] the returned
+/// [`consolidate::AggConsolidation`] reports every definition as
+/// [`consolidate::ProofOutcome::Memo`] — answered without proving — with
+/// zeroed solver statistics, so callers can assert "the warm run made zero
+/// SMT checks". The same tier-upgrade rule as
+/// [`consolidate_many_cached`] applies: a degraded verdict set is
+/// re-proved under a live budget and only replaced by an outcome at least
+/// as good.
+///
+/// # Errors
+///
+/// Propagates [`ConsolidateError`] from the underlying prover.
+pub fn consolidate_aggs_cached(
+    cache: &PlanCache,
+    defs: &[udf_lang::AggDef],
+    interner: &mut Interner,
+    cm: &CostModel,
+    opts: &Options,
+) -> Result<(consolidate::AggConsolidation, PlanKey, PlanOutcome), ConsolidateError> {
+    if defs.is_empty() {
+        return Err(ConsolidateError::Empty);
+    }
+    let start = Instant::now();
+    let key = PlanKey::derive_agg(defs, interner, opts, cm);
+    // Shape check mirrors `consolidate_many_cached`; a count mismatch means
+    // a stale or foreign entry and is treated as a miss.
+    let cached = cache
+        .get(key)
+        .filter(|p| p.agg().is_some_and(|a| a.defs.len() == defs.len()));
+    let from_flags = |flags: &[bool], tier: DegradationTier| consolidate::AggConsolidation {
+        outcomes: flags.iter().map(|&p| consolidate::ProofOutcome::Memo(p)).collect(),
+        tier,
+        stats: consolidate::AggProofStats::default(),
+        elapsed: start.elapsed(),
+    };
+    if let Some(plan) = &cached {
+        let budget_spent = BudgetState::new(&opts.budget).exhausted();
+        if plan.tier == DegradationTier::Full || budget_spent {
+            if let Some(agg) = plan.agg() {
+                opts.recorder.add(udf_obs::names::PLAN_CACHE_HIT, 1);
+                return Ok((from_flags(&agg.proved, plan.tier), key, PlanOutcome::Hit));
+            }
+        }
+    }
+    let fresh = consolidate::consolidate_aggs(defs, interner, opts)?;
+    let stored_better = match &cached {
+        Some(old) if fresh.tier > old.tier => old.agg().map(|a| (old.tier, a.proved.clone())),
+        _ => None,
+    };
+    match stored_better {
+        Some((tier, proved)) => {
+            opts.recorder.add(udf_obs::names::PLAN_CACHE_UPGRADE, 1);
+            Ok((from_flags(&proved, tier), key, PlanOutcome::Upgrade))
+        }
+        None => {
+            let portable = PortableAggPlan::from_defs(defs, &fresh.proved_flags(), interner);
+            let stats = ConsolidationStats {
+                entailment_queries: fresh.stats.entailment_queries,
+                memo_hits: fresh.stats.proof_memo_hits,
+                solver: fresh.stats.solver,
+                tier: fresh.tier,
+                ..ConsolidationStats::default()
+            };
+            cache.insert(key, CachedPlan::new_agg(portable, stats));
+            if cached.is_some() {
+                opts.recorder.add(udf_obs::names::PLAN_CACHE_UPGRADE, 1);
+                Ok((fresh, key, PlanOutcome::Upgrade))
+            } else {
+                opts.recorder.add(udf_obs::names::PLAN_CACHE_MISS, 1);
+                Ok((fresh, key, PlanOutcome::Miss))
+            }
         }
     }
 }
@@ -681,6 +829,54 @@ mod tests {
         );
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.inserts), (1, 1));
+    }
+
+    #[test]
+    fn agg_verdict_warm_hit_skips_the_solver() {
+        let mut i = Interner::new();
+        let defs = udf_lang::parse_aggs(
+            "aggregate sum @1 (x) {
+                 state s = 0;
+                 fold { s := s + x; }
+                 merge { s := s + rhs_s; }
+             }
+             aggregate count @2 (x) {
+                 state c = 0;
+                 fold { c := c + 1; }
+                 merge { c := c + rhs_c; }
+             }",
+            &mut i,
+        )
+        .expect("test aggs parse");
+        let cache = PlanCache::default();
+        let opts = Options::default();
+        let cm = CostModel::default();
+
+        let (cold, k1, o1) =
+            consolidate_aggs_cached(&cache, &defs, &mut i, &cm, &opts).expect("cold run succeeds");
+        assert_eq!(o1, PlanOutcome::Miss);
+        assert_eq!(cold.proved_flags(), vec![true, true]);
+        assert!(cold.stats.checks > 0, "cold run must discharge proofs");
+
+        let (warm, k2, o2) =
+            consolidate_aggs_cached(&cache, &defs, &mut i, &cm, &opts).expect("warm run succeeds");
+        assert_eq!(o2, PlanOutcome::Hit);
+        assert_eq!(k1, k2);
+        assert_eq!(warm.proved_flags(), cold.proved_flags());
+        assert_eq!(warm.stats.solver.checks, 0, "a hit must skip the solver");
+        assert_eq!(warm.tier, DegradationTier::Full);
+
+        // The cached entry survives a snapshot round trip.
+        let dir = std::env::temp_dir().join("plan-cache-test-aggsnap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        cache.save(&path).unwrap();
+        let loaded = PlanCache::load(&path, CacheConfig::default()).unwrap();
+        std::fs::remove_file(&path).ok();
+        let (thawed, k3, o3) =
+            consolidate_aggs_cached(&loaded, &defs, &mut i, &cm, &opts).expect("thawed run");
+        assert_eq!((k3, o3), (k1, PlanOutcome::Hit));
+        assert_eq!(thawed.proved_flags(), vec![true, true]);
     }
 
     #[test]

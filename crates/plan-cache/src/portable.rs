@@ -15,6 +15,7 @@
 //! generated names need no escaping.
 
 use std::fmt::Write as _;
+use udf_lang::agg::{AggDef, StateSlot};
 use udf_lang::ast::{BoolExpr, BoolOp, CmpOp, IntExpr, IntOp, ProgId, Program, Stmt};
 use udf_lang::intern::Interner;
 
@@ -212,6 +213,305 @@ impl PortableProgram {
             Some(t) => Err(format!("trailing input: {t:?}")),
         }
     }
+}
+
+/// One state slot of a portable UDAF: declared name, initial value, and the
+/// alias under which `merge` reads the right-hand partial state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PSlot {
+    /// Declared state-variable name.
+    pub name: String,
+    /// Initial value (the `init` element of the homomorphism).
+    pub init: i64,
+    /// Alias naming the right-hand copy of this slot inside `merge`.
+    pub rhs: String,
+}
+
+/// An [`AggDef`] with every symbol resolved to its name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortableAggDef {
+    /// Definition id.
+    pub id: u32,
+    /// Parameter names in declaration order.
+    pub params: Vec<String>,
+    /// State slots in declaration order.
+    pub state: Vec<PSlot>,
+    /// Per-record fold body.
+    pub fold: PStmt,
+    /// Partial-state merge body.
+    pub merge: PStmt,
+}
+
+/// A cached aggregation plan: the definitions of one consolidated UDAF set
+/// together with their positional homomorphism verdicts, so a warm start
+/// skips re-proving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortableAggPlan {
+    /// The definitions, in output order.
+    pub defs: Vec<PortableAggDef>,
+    /// Positional verdicts (`true` = merge-correctness proved; the engine
+    /// may fold the definition in parallel).
+    pub proved: Vec<bool>,
+}
+
+/// What a cache entry stores: a merged program plan (the Ω engine's output)
+/// or an aggregation plan (proved UDAF set). The two key spaces are
+/// disjoint — [`crate::PlanKey::derive`] and [`crate::PlanKey::derive_agg`]
+/// fold distinct domain tags — so a lookup never sees the other variant,
+/// but accessors stay total for defensive callers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PortablePlan {
+    /// A consolidated program.
+    Program(PortableProgram),
+    /// A proved aggregation set.
+    Agg(PortableAggPlan),
+}
+
+impl PortablePlan {
+    /// Approximate heap footprint in bytes (for the cache byte budget).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            PortablePlan::Program(p) => p.approx_bytes(),
+            PortablePlan::Agg(a) => a.approx_bytes(),
+        }
+    }
+}
+
+impl PortableAggDef {
+    /// Resolves every symbol of `def` against `interner`.
+    pub fn from_def(def: &AggDef, interner: &Interner) -> PortableAggDef {
+        PortableAggDef {
+            id: def.id.0,
+            params: def.params.iter().map(|&s| interner.resolve(s).to_owned()).collect(),
+            state: def
+                .state
+                .iter()
+                .map(|s| PSlot {
+                    name: interner.resolve(s.name).to_owned(),
+                    init: s.init,
+                    rhs: interner.resolve(s.rhs).to_owned(),
+                })
+                .collect(),
+            fold: p_stmt(&def.fold, interner),
+            merge: p_stmt(&def.merge, interner),
+        }
+    }
+
+    /// Re-interns every name into `interner`, rebuilding (and re-validating)
+    /// the definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if the stored definition no longer
+    /// satisfies the [`AggDef`] scope rules (possible only for hand-edited
+    /// snapshots).
+    pub fn to_def(&self, interner: &mut Interner) -> Result<AggDef, String> {
+        let params = self.params.iter().map(|p| interner.intern(p)).collect();
+        let state: Vec<StateSlot> = self
+            .state
+            .iter()
+            .map(|s| StateSlot {
+                name: interner.intern(&s.name),
+                init: s.init,
+                rhs: interner.intern(&s.rhs),
+            })
+            .collect();
+        let fold = r_stmt(&self.fold, interner);
+        let merge = r_stmt(&self.merge, interner);
+        AggDef::new(ProgId(self.id), params, state, fold, merge, interner)
+            .map_err(|e| e.to_string())
+    }
+}
+
+impl PortableAggPlan {
+    /// Packages `defs` and their positional proof verdicts.
+    pub fn from_defs(defs: &[AggDef], proved: &[bool], interner: &Interner) -> PortableAggPlan {
+        PortableAggPlan {
+            defs: defs.iter().map(|d| PortableAggDef::from_def(d, interner)).collect(),
+            proved: proved.to_vec(),
+        }
+    }
+
+    /// Rebuilds the definitions against `interner`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`PortableAggDef::to_def`] failure.
+    pub fn to_defs(&self, interner: &mut Interner) -> Result<Vec<AggDef>, String> {
+        self.defs.iter().map(|d| d.to_def(interner)).collect()
+    }
+
+    /// Approximate heap footprint in bytes (for the cache byte budget).
+    pub fn approx_bytes(&self) -> usize {
+        32 + self.proved.len()
+            + self
+                .defs
+                .iter()
+                .map(|d| {
+                    // Reuse the program estimator over both bodies by
+                    // viewing each as a parameterless portable program.
+                    let fold = PortableProgram {
+                        id: d.id,
+                        params: d.params.clone(),
+                        body: d.fold.clone(),
+                    };
+                    let merge = PortableProgram {
+                        id: d.id,
+                        params: Vec::new(),
+                        body: d.merge.clone(),
+                    };
+                    fold.approx_bytes()
+                        + merge.approx_bytes()
+                        + d.state.iter().map(|s| s.name.len() + s.rhs.len() + 16).sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+
+    /// Renders the single-line S-expression wire form:
+    ///
+    /// ```text
+    /// (aggplan (proved true false)
+    ///   (aggregate 3 (params x) (state (slot s 0 rhs_s)) (fold S) (merge S)) …)
+    /// ```
+    pub fn to_sexpr(&self) -> String {
+        let mut out = String::new();
+        out.push_str("(aggplan (proved");
+        for p in &self.proved {
+            let _ = write!(out, " {p}");
+        }
+        out.push(')');
+        for d in &self.defs {
+            let _ = write!(out, " (aggregate {} (params", d.id);
+            for p in &d.params {
+                let _ = write!(out, " {p}");
+            }
+            out.push_str(") (state");
+            for s in &d.state {
+                let _ = write!(out, " (slot {} {} {})", s.name, s.init, s.rhs);
+            }
+            out.push_str(") (fold ");
+            w_stmt(&d.fold, &mut out);
+            out.push_str(") (merge ");
+            w_stmt(&d.merge, &mut out);
+            out.push_str("))");
+        }
+        out.push(')');
+        out
+    }
+
+    /// Parses the wire form produced by [`PortableAggPlan::to_sexpr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error, including a
+    /// verdict/definition count mismatch.
+    pub fn parse_sexpr(src: &str) -> Result<PortableAggPlan, String> {
+        let mut toks = tokenize(src);
+        let h = head(&mut toks)?;
+        if h != "aggplan" {
+            return Err(format!("expected `aggplan`, found {h:?}"));
+        }
+        let ph = head(&mut toks)?;
+        if ph != "proved" {
+            return Err(format!("expected `proved`, found {ph:?}"));
+        }
+        let mut proved = Vec::new();
+        loop {
+            match toks.next() {
+                Some(Tok::Atom(a)) => match a.as_str() {
+                    "true" => proved.push(true),
+                    "false" => proved.push(false),
+                    other => return Err(format!("bad proved flag {other:?}")),
+                },
+                Some(Tok::Close) => break,
+                other => return Err(format!("expected proved flag or `)`, found {other:?}")),
+            }
+        }
+        let mut defs = Vec::new();
+        loop {
+            match toks.next() {
+                Some(Tok::Open) => defs.push(parse_agg_def(&mut toks)?),
+                Some(Tok::Close) => break,
+                other => return Err(format!("expected `(aggregate` or `)`, found {other:?}")),
+            }
+        }
+        if defs.len() != proved.len() {
+            return Err(format!(
+                "{} definitions but {} proved flags",
+                defs.len(),
+                proved.len()
+            ));
+        }
+        match toks.next() {
+            None => Ok(PortableAggPlan { defs, proved }),
+            Some(t) => Err(format!("trailing input: {t:?}")),
+        }
+    }
+}
+
+/// Parses one `(aggregate …)` body, its opening paren already consumed.
+fn parse_agg_def(toks: &mut Toks) -> Result<PortableAggDef, String> {
+    let h = atom(toks)?;
+    if h != "aggregate" {
+        return Err(format!("expected `aggregate`, found {h:?}"));
+    }
+    let id = num(toks)?;
+    let ph = head(toks)?;
+    if ph != "params" {
+        return Err(format!("expected `params`, found {ph:?}"));
+    }
+    let mut params = Vec::new();
+    loop {
+        match toks.next() {
+            Some(Tok::Atom(a)) => params.push(a),
+            Some(Tok::Close) => break,
+            other => return Err(format!("expected parameter name or `)`, found {other:?}")),
+        }
+    }
+    let sh = head(toks)?;
+    if sh != "state" {
+        return Err(format!("expected `state`, found {sh:?}"));
+    }
+    let mut state = Vec::new();
+    loop {
+        match toks.next() {
+            Some(Tok::Open) => {
+                let slot = atom(toks)?;
+                if slot != "slot" {
+                    return Err(format!("expected `slot`, found {slot:?}"));
+                }
+                let name = atom(toks)?;
+                let init = num(toks)?;
+                let rhs = atom(toks)?;
+                expect_close(toks)?;
+                state.push(PSlot { name, init, rhs });
+            }
+            Some(Tok::Close) => break,
+            other => return Err(format!("expected `(slot` or `)`, found {other:?}")),
+        }
+    }
+    let fh = head(toks)?;
+    if fh != "fold" {
+        return Err(format!("expected `fold`, found {fh:?}"));
+    }
+    let fold = parse_stmt(toks)?;
+    expect_close(toks)?;
+    let mh = head(toks)?;
+    if mh != "merge" {
+        return Err(format!("expected `merge`, found {mh:?}"));
+    }
+    let merge = parse_stmt(toks)?;
+    expect_close(toks)?;
+    finish(
+        toks,
+        PortableAggDef {
+            id,
+            params,
+            state,
+            fold,
+            merge,
+        },
+    )
 }
 
 fn w_int(e: &PInt, out: &mut String) {
@@ -581,5 +881,57 @@ mod tests {
         assert!(PortableProgram::parse_sexpr("(program 1 (params) (skip)").is_err());
         assert!(PortableProgram::parse_sexpr("(program 1 (params) (frob))").is_err());
         assert!(PortableProgram::parse_sexpr("(program 1 (params) (skip)))").is_err());
+    }
+
+    #[test]
+    fn agg_plan_roundtrip_through_portable_and_wire() {
+        let mut i = Interner::new();
+        let defs = udf_lang::agg::parse_aggs(
+            "aggregate sumsq @7 (x, y) {
+                 state s = 0;
+                 state n = -3;
+                 fold { s := s + x * x; n := n + 1; }
+                 merge { s := s + rhs_s; n := n + rhs_n + 3; }
+             }
+             aggregate hits @8 (x, y) {
+                 state h = 0;
+                 fold { if (y < 10) { h := h + 1; } else { skip; } }
+                 merge { h := h + rhs_h; }
+             }",
+            &mut i,
+        )
+        .expect("test aggs parse");
+        let plan = PortableAggPlan::from_defs(&defs, &[true, false], &i);
+        let wire = plan.to_sexpr();
+        assert!(!wire.contains('\n'));
+        let parsed = PortableAggPlan::parse_sexpr(&wire).expect("wire form parses");
+        assert_eq!(plan, parsed);
+
+        // Rehydrating into a fresh interner reproduces the definitions.
+        let mut i2 = Interner::new();
+        let back = parsed.to_defs(&mut i2).expect("stored defs validate");
+        assert_eq!(back.len(), 2);
+        for (orig, got) in defs.iter().zip(&back) {
+            assert_eq!(orig.id, got.id);
+            assert_eq!(orig.state.len(), got.state.len());
+            assert_eq!(
+                udf_lang::agg::agg_hash(orig, &i),
+                udf_lang::agg::agg_hash(got, &i2),
+                "alpha-invariant hash must survive the round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn agg_plan_parse_rejects_garbage() {
+        assert!(PortableAggPlan::parse_sexpr("(aggplan (proved true))").is_err());
+        assert!(PortableAggPlan::parse_sexpr(
+            "(aggplan (proved yes) (aggregate 1 (params) (state) (fold (skip)) (merge (skip))))"
+        )
+        .is_err());
+        assert!(PortableAggPlan::parse_sexpr(
+            "(aggplan (proved true) (aggregate 1 (params) (state) (fold (skip))))"
+        )
+        .is_err());
     }
 }

@@ -25,7 +25,8 @@
 //! Strict loading ([`load`]) still accepts the checksum-free **v1** format
 //! written by earlier releases; [`save`] always writes v2.
 
-use crate::{CacheConfig, CachedPlan, PlanCache, PlanKey, PortableProgram};
+use crate::{CacheConfig, CachedPlan, PlanCache, PlanKey, PortableAggPlan, PortableProgram};
+use crate::portable::PortablePlan;
 use consolidate::{ConsolidationStats, DegradationTier};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
@@ -107,7 +108,10 @@ fn render_payload(plan: &CachedPlan) -> String {
     for (name, v) in stat_fields(&plan.stats) {
         payload.push_str(&format!("stat {name} {v}\n"));
     }
-    payload.push_str(&format!("program {}\n", plan.program.to_sexpr()));
+    match &plan.plan {
+        PortablePlan::Program(p) => payload.push_str(&format!("program {}\n", p.to_sexpr())),
+        PortablePlan::Agg(a) => payload.push_str(&format!("aggplan {}\n", a.to_sexpr())),
+    }
     payload
 }
 
@@ -168,7 +172,7 @@ fn parse_tier(s: &str) -> Result<DegradationTier, String> {
 fn parse_payload(payload: &str) -> Result<CachedPlan, String> {
     let mut tier = None;
     let mut stats = ConsolidationStats::default();
-    let mut program: Option<PortableProgram> = None;
+    let mut plan: Option<PortablePlan> = None;
     for line in payload.lines() {
         let line = line.trim_end();
         if line.is_empty() {
@@ -185,16 +189,29 @@ fn parse_payload(payload: &str) -> Result<CachedPlan, String> {
                 set_stat(&mut stats, name, v);
             }
             "program" => {
-                program = Some(
+                if plan.is_some() {
+                    return Err("entry carries two plans".to_owned());
+                }
+                plan = Some(PortablePlan::Program(
                     PortableProgram::parse_sexpr(rest).map_err(|e| format!("bad program: {e}"))?,
-                );
+                ));
+            }
+            "aggplan" => {
+                if plan.is_some() {
+                    return Err("entry carries two plans".to_owned());
+                }
+                plan = Some(PortablePlan::Agg(
+                    PortableAggPlan::parse_sexpr(rest).map_err(|e| format!("bad aggplan: {e}"))?,
+                ));
             }
             other => return Err(format!("unknown payload directive {other:?}")),
         }
     }
     stats.tier = tier.ok_or("entry missing tier")?;
-    let program = program.ok_or("entry missing program")?;
-    Ok(CachedPlan::new(program, stats))
+    match plan.ok_or("entry missing program")? {
+        PortablePlan::Program(p) => Ok(CachedPlan::new(p, stats)),
+        PortablePlan::Agg(a) => Ok(CachedPlan::new_agg(a, stats)),
+    }
 }
 
 /// Account of a lenient snapshot load (see [`PlanCache::load_recovering`]).
@@ -524,7 +541,7 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for ((ka, pa), (kb, pb)) in a.iter().zip(&b) {
             assert_eq!(ka, kb);
-            assert_eq!(pa.program, pb.program);
+            assert_eq!(pa.plan, pb.plan);
             assert_eq!(pa.stats, pb.stats);
             assert_eq!(pa.tier, pb.tier);
         }

@@ -9,8 +9,10 @@
 //!   or errors, and the recovery accounting always satisfies
 //!   `loaded + salvaged == total`.
 
-use plan_cache::portable::{PBool, PInt, PStmt};
-use plan_cache::{CacheConfig, CachedPlan, PlanCache, PlanKey, PortableProgram};
+use plan_cache::portable::{PBool, PInt, PSlot, PStmt};
+use plan_cache::{
+    CacheConfig, CachedPlan, PlanCache, PlanKey, PortableAggDef, PortableAggPlan, PortableProgram,
+};
 use consolidate::{ConsolidationStats, DegradationTier};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -133,6 +135,33 @@ fn stats() -> impl Strategy<Value = ConsolidationStats> {
         })
 }
 
+fn agg_def() -> impl Strategy<Value = PortableAggDef> {
+    (
+        any::<u32>(),
+        prop::collection::vec(name(), 0..3),
+        prop::collection::vec(
+            (name(), any::<i64>(), name()).prop_map(|(n, init, rhs)| PSlot { name: n, init, rhs }),
+            0..3,
+        ),
+        pstmt(2),
+        pstmt(2),
+    )
+        .prop_map(|(id, params, state, fold, merge)| PortableAggDef {
+            id,
+            params,
+            state,
+            fold,
+            merge,
+        })
+}
+
+fn agg_plan() -> impl Strategy<Value = PortableAggPlan> {
+    prop::collection::vec((agg_def(), any::<bool>()), 0..3).prop_map(|pairs| {
+        let (defs, proved) = pairs.into_iter().unzip();
+        PortableAggPlan { defs, proved }
+    })
+}
+
 static CASE: AtomicU64 = AtomicU64::new(0);
 
 proptest! {
@@ -159,7 +188,39 @@ proptest! {
         prop_assert_eq!(a.len(), b.len());
         for ((ka, pa), (kb, pb)) in a.iter().zip(&b) {
             prop_assert_eq!(ka, kb);
-            prop_assert_eq!(&pa.program, &pb.program);
+            prop_assert_eq!(&pa.plan, &pb.plan);
+            prop_assert_eq!(pa.stats, pb.stats);
+            prop_assert_eq!(pa.tier, pb.tier);
+        }
+    }
+
+    #[test]
+    fn agg_snapshot_round_trips(
+        progs in prop::collection::vec((key(), program(), stats()), 0..3),
+        aggs in prop::collection::vec((key(), agg_plan(), stats()), 0..3),
+    ) {
+        let dir = std::env::temp_dir().join("plan-cache-prop-agg-snapshot");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("snap-{}.txt", CASE.fetch_add(1, Ordering::Relaxed)));
+
+        // Program and aggregation entries share one snapshot file.
+        let cache = PlanCache::default();
+        for (key, prog, st) in &progs {
+            cache.insert(PlanKey(*key), CachedPlan::new(prog.clone(), *st));
+        }
+        for (key, agg, st) in &aggs {
+            cache.insert(PlanKey(*key), CachedPlan::new_agg(agg.clone(), *st));
+        }
+        cache.save(&path).expect("save");
+        let loaded = PlanCache::load(&path, CacheConfig::default()).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        let a = cache.entries();
+        let b = loaded.entries();
+        prop_assert_eq!(a.len(), b.len());
+        for ((ka, pa), (kb, pb)) in a.iter().zip(&b) {
+            prop_assert_eq!(ka, kb);
+            prop_assert_eq!(&pa.plan, &pb.plan);
             prop_assert_eq!(pa.stats, pb.stats);
             prop_assert_eq!(pa.tier, pb.tier);
         }

@@ -1,0 +1,170 @@
+//! Regenerates the **user-defined aggregation** figure: fold-phase speedup
+//! of the consolidated multi-state pass (one shared scan for n UDAFs) over
+//! one-scan-per-definition, plus consolidated scaling across worker counts.
+//!
+//! ```text
+//! cargo run -p udf-bench --release --bin figure_agg -- [domain|all] [--fast] [--defs N] [--seed S] [--workers 1,2,4,8] [--json PATH] [--metrics]
+//! ```
+//!
+//! Every cell digests its observable output (final states + quarantine
+//! pairs) and requires bit-for-bit agreement between the separate scans,
+//! the consolidated pass at *every* worker count, and a sequential
+//! single-shard reference fold — any divergence exits non-zero, which is
+//! the determinism gate `ci/bench-smoke.sh` relies on.
+//!
+//! `--metrics` installs an in-memory [`udf_obs`] recorder shared by the
+//! homomorphism prover and the engine's fold/merge path and cross-checks
+//! the recorder counters (`agg.folds`, `agg.merges`,
+//! `agg.homomorphism_checks`, `agg.proof_memo_hits`) against the summed
+//! per-cell report statistics — both are incremented at the same sites, so
+//! drift is an instrumentation bug and exits non-zero.
+
+use consolidate::Options;
+use udf_bench::{agg_header, agg_runs_json, format_agg_row, run_agg_domain, AggScale};
+use udf_data::DomainKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut domains: Vec<DomainKind> = Vec::new();
+    let mut scale = AggScale::full();
+    let mut seed = 42u64;
+    let mut metrics = false;
+    let mut json: Option<String> = None;
+    let mut workers: Vec<usize> = vec![1, 2, 4, 8];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => scale = AggScale::fast(),
+            "--metrics" => metrics = true,
+            "--json" => {
+                json = Some(it.next().expect("--json PATH").clone());
+            }
+            "--defs" => {
+                scale.defs = it.next().and_then(|v| v.parse().ok()).expect("--defs N");
+            }
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
+            }
+            "--workers" => {
+                let v = it.next().expect("--workers 1,2,4,8");
+                workers = v
+                    .split(',')
+                    .map(|w| w.parse().expect("--workers takes a comma-separated list"))
+                    .collect();
+                assert!(!workers.is_empty(), "--workers needs at least one count");
+            }
+            "all" => domains.extend(DomainKind::ALL),
+            name => match DomainKind::parse(name) {
+                Some(d) => domains.push(d),
+                None => {
+                    eprintln!(
+                        "unknown domain `{name}`; use one of weather/flight/news/twitter/stock/all"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if domains.is_empty() {
+        domains.extend(DomainKind::ALL);
+    }
+
+    let mut opts = Options::default();
+    if metrics {
+        opts.recorder = udf_obs::RecorderCell::memory();
+    }
+
+    println!("Aggregation figure — consolidated multi-state pass vs separate scans");
+    println!(
+        "(defs per family: {}, seed {seed}, workers {:?}; headline = {} workers)",
+        scale.defs,
+        workers,
+        workers.last().copied().unwrap_or(1)
+    );
+    println!("{}", agg_header());
+    let mut runs = Vec::new();
+    for &d in &domains {
+        for r in run_agg_domain(d, scale, seed, &workers, &opts) {
+            println!("{}", format_agg_row(&r));
+            runs.push(r);
+        }
+    }
+
+    let diverged = runs.iter().filter(|r| !r.digests_agree).count();
+    println!(
+        "determinism: {} cells × {} worker counts + separate + reference, {diverged} divergences",
+        runs.len(),
+        workers.len()
+    );
+    if let Some(path) = &json {
+        std::fs::write(path, agg_runs_json(&runs)).expect("write --json file");
+        println!("wrote {} rows to {path}", runs.len());
+    }
+    if !runs.is_empty() {
+        let spd: Vec<f64> = runs.iter().map(|r| r.speedup()).collect();
+        let avg = spd.iter().sum::<f64>() / spd.len() as f64;
+        let min = spd.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = spd.iter().copied().fold(0.0, f64::max);
+        let above = spd.iter().filter(|s| **s > 1.0).count();
+        println!("---");
+        println!(
+            "fold speedup : min {min:.2}x  max {max:.2}x  avg {avg:.2}x  ({above}/{} cells > 1x)",
+            spd.len()
+        );
+        let proof_avg = runs
+            .iter()
+            .map(|r| r.consolidation.as_secs_f64())
+            .sum::<f64>()
+            / runs.len() as f64;
+        let proved: usize = runs.iter().map(|r| r.proved).sum();
+        let total: usize = runs.iter().map(|r| r.n_defs).sum();
+        println!(
+            "homomorphism : {proved}/{total} definitions proved, avg {proof_avg:.3}s per family"
+        );
+    }
+    if diverged > 0 {
+        std::process::exit(1);
+    }
+
+    // `--metrics`: the recorder and the per-cell reports are incremented at
+    // the same sites, so the totals must agree exactly.
+    if let Some(snap) = opts.recorder.snapshot() {
+        println!("--- metrics snapshot (udf-obs) ---");
+        println!("{}", snap.to_json());
+        let folds: u64 = runs.iter().map(|r| r.total_folds).sum();
+        let merges: u64 = runs.iter().map(|r| r.total_merges).sum();
+        let checks: u64 = runs.iter().map(|r| r.proof_stats.checks).sum();
+        let memo: u64 = runs.iter().map(|r| r.proof_stats.proof_memo_hits).sum();
+        let mut coherent = true;
+        for (name, stat) in [
+            (udf_obs::names::AGG_FOLDS, folds),
+            (udf_obs::names::AGG_MERGES, merges),
+            (udf_obs::names::AGG_HOMOMORPHISM_CHECKS, checks),
+            (udf_obs::names::AGG_PROOF_MEMO_HITS, memo),
+        ] {
+            let rec = snap.counter(name);
+            let ok = rec == stat;
+            coherent &= ok;
+            println!(
+                "coherence: {name:<28} recorder={rec:>10} stats={stat:>10} {}",
+                if ok { "ok" } else { "MISMATCH" }
+            );
+        }
+        // Fold spans are per surviving record per scan group; the histogram
+        // must have been populated whenever folds were.
+        let fold_ns = snap
+            .histogram(udf_obs::names::ENGINE_FOLD_NS)
+            .map_or(0, |h| h.count);
+        let ok = (fold_ns > 0) == (folds > 0);
+        coherent &= ok;
+        println!(
+            "coherence: {:<28} recorder={fold_ns:>10} spans ({} folds) {}",
+            udf_obs::names::ENGINE_FOLD_NS,
+            folds,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        if !coherent {
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,6 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
+pub use agg::{
+    agg_header, agg_output_digest, agg_runs_json, format_agg_row, run_agg_domain, run_agg_family,
+    AggFamilyRun, AggScale,
+};
+
 use consolidate::Options;
 use naiad_lite::engine::{Engine, ExecBackend, ExecMode, QuerySet};
 use naiad_lite::env::UdfEnv;

@@ -57,6 +57,12 @@ pub struct CostModel {
     pub branch: Cost,
     /// `cost(notify)` — notification broadcast.
     pub notify: Cost,
+    /// `cost(fold)` — per-record fold step dispatch of a user-defined
+    /// aggregation (charged once per record on top of the body's own cost).
+    pub fold: Cost,
+    /// `cost(merge)` — partial-state merge dispatch of a user-defined
+    /// aggregation (charged once per merge on top of the body's own cost).
+    pub merge: Cost,
 }
 
 impl Default for CostModel {
@@ -74,6 +80,8 @@ impl Default for CostModel {
             assign: 1,
             branch: 1,
             notify: 1,
+            fold: 1,
+            merge: 1,
         }
     }
 }
@@ -86,8 +94,8 @@ impl CostModel {
     /// the model iterates this array instead of naming the fields, so adding
     /// a primitive updates every consumer in one place. Order is stable:
     /// `int_const, var, bool_const, not, connective, cmp, arith, assign,
-    /// branch, notify`.
-    pub fn components(&self) -> [Cost; 10] {
+    /// branch, notify, fold, merge`.
+    pub fn components(&self) -> [Cost; 12] {
         [
             self.int_const,
             self.var,
@@ -99,6 +107,8 @@ impl CostModel {
             self.assign,
             self.branch,
             self.notify,
+            self.fold,
+            self.merge,
         ]
     }
 

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod analysis;
 pub mod ast;
 pub mod canon;
@@ -57,6 +58,7 @@ pub mod library;
 pub mod parse;
 pub mod pretty;
 
+pub use agg::{agg_hash, agg_set_key, parse_agg, parse_aggs, AggDef, AggError, StateSlot};
 pub use ast::{BoolExpr, BoolOp, CmpOp, IntExpr, IntOp, ProgId, Program, Stmt};
 pub use cost::{Cost, CostModel};
 pub use intern::{Interner, Symbol};

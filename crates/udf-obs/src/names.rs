@@ -146,6 +146,24 @@ pub const PLAN_CACHE_TAG_INVALIDATED: &str = "plan_cache.tag_invalidated";
 /// derived from was demoted or quarantined at runtime.
 pub const ENTAIL_MEMO_INVALIDATED: &str = "consolidate.entail.memo_invalidated";
 
+// ---- user-defined aggregations --------------------------------------------
+
+/// Counter: per-record fold steps executed by the aggregation engine
+/// (one per surviving (record, UDAF) pair, both modes).
+pub const AGG_FOLDS: &str = "agg.folds";
+/// Counter: partial-state merges executed by the deterministic merge tree.
+pub const AGG_MERGES: &str = "agg.merges";
+/// Counter: homomorphism obligations actually discharged against the
+/// solver (memo hits and refused-loop definitions are not counted here).
+pub const AGG_HOMOMORPHISM_CHECKS: &str = "agg.homomorphism_checks";
+/// Counter: homomorphism verdicts answered from the shared proof memo
+/// without re-proving.
+pub const AGG_PROOF_MEMO_HITS: &str = "agg.proof_memo_hits";
+/// Histogram (ns): wall-clock latency of one per-record fold step (all
+/// consolidated UDAFs on that record). Only collected when the recorder is
+/// enabled.
+pub const ENGINE_FOLD_NS: &str = "engine.fold_ns";
+
 // ---- udf-serve: consolidation-as-a-service --------------------------------
 
 /// Counter: records admitted into the service's bounded ingest queue.

@@ -1,0 +1,250 @@
+//! User-defined aggregation execution matrix: worker-count determinism and
+//! per-UDAF fault isolation.
+//!
+//! The invariants under test:
+//!
+//! 1. **Worker-count determinism** — the consolidated multi-state pass
+//!    produces bit-identical final states *and* bit-identical quarantine
+//!    reports at 1, 2, and 8 workers (the merge tree is driver-side and
+//!    depends only on the chunk grid, never on scheduling).
+//! 2. **Mode agreement** — [`AggMode::Separate`], [`AggMode::Consolidated`],
+//!    and a sequential single-shard reference fold agree bit-for-bit, under
+//!    fault injection included.
+//! 3. **Per-UDAF quarantine** — a fold panic excludes the faulting record
+//!    from *that* definition's aggregate only; co-resident definitions in
+//!    the same shared scan still absorb the record.
+
+use naiad_lite::fault::{silence_injected_panics, FaultKind, FaultPlan, FaultyEnv};
+use naiad_lite::{AggMode, AggQuerySet, AggReport, Engine, ErrorPolicy, ScalarEnv};
+use proptest::prelude::*;
+use udf_lang::agg::{parse_agg, AggDef};
+use udf_lang::intern::{Interner, Symbol};
+use udf_lang::FnLibrary;
+
+/// One generated aggregation shape. `Last` is the non-homomorphic one
+/// (`merge` keeps the right state), pinned to the sequential shard.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    Sum(i64),
+    CountGt(i64),
+    SumSq,
+    Last,
+}
+
+impl Shape {
+    fn source(self, id: usize) -> String {
+        match self {
+            Shape::Sum(w) => format!(
+                "aggregate s{id} @{id} (v) {{ state s = 0;
+                     fold  {{ p := probe(v); s := s + {w} * p; }}
+                     merge {{ s := s + rhs_s; }} }}"
+            ),
+            Shape::CountGt(t) => format!(
+                "aggregate c{id} @{id} (v) {{ state c = 0;
+                     fold  {{ if (probe(v) > {t}) {{ c := c + 1; }} }}
+                     merge {{ c := c + rhs_c; }} }}"
+            ),
+            Shape::SumSq => format!(
+                "aggregate q{id} @{id} (v) {{ state ss = 0;
+                     fold  {{ p := probe(v); ss := ss + p * p; }}
+                     merge {{ ss := ss + rhs_ss; }} }}"
+            ),
+            Shape::Last => format!(
+                "aggregate l{id} @{id} (v) {{ state l = -1;
+                     fold  {{ l := probe(v); }}
+                     merge {{ l := rhs_l; }} }}"
+            ),
+        }
+    }
+
+    fn homomorphic(self) -> bool {
+        !matches!(self, Shape::Last)
+    }
+}
+
+fn defs_of(shapes: &[Shape], interner: &mut Interner) -> (Vec<AggDef>, Vec<bool>) {
+    let defs = shapes
+        .iter()
+        .enumerate()
+        .map(|(id, s)| parse_agg(&s.source(id), interner).expect("generated shape parses"))
+        .collect();
+    let proved = shapes.iter().map(|s| s.homomorphic()).collect();
+    (defs, proved)
+}
+
+fn quarantine_engine(workers: usize) -> Engine {
+    Engine::new(workers).with_error_policy(ErrorPolicy::Quarantine { max_errors: 10_000 })
+}
+
+/// Runs the query set over `n_records` faulted scalar records. `probe` is
+/// the trigger symbol, interned in the same interner as the definitions.
+fn run(
+    workers: usize,
+    mode: AggMode,
+    queries: &AggQuerySet,
+    probe: Symbol,
+    plan: &FaultPlan,
+    n_records: usize,
+    interner: &Interner,
+) -> AggReport {
+    let mut lib = FnLibrary::new();
+    lib.register(probe, "probe", 1, 20, |a| a[0]);
+    let env = FaultyEnv::new(ScalarEnv::new(1, lib), probe, plan.clone());
+    let records =
+        FaultyEnv::<ScalarEnv>::index_records((0..n_records).map(|v| vec![v as i64 - 40]));
+    quarantine_engine(workers)
+        .run_agg(&env, &records, queries, interner, mode)
+        .expect("quarantine policy absorbs record faults")
+}
+
+/// The observable output: (states, post-demotion flags, quarantine report).
+fn observable(r: &AggReport) -> (Vec<Vec<i64>>, Vec<bool>, naiad_lite::QuarantineReport) {
+    (r.states.clone(), r.proved.clone(), r.quarantine.clone())
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (-3i64..4).prop_map(Shape::Sum),
+        (-50i64..120).prop_map(Shape::CountGt),
+        Just(Shape::SumSq),
+        Just(Shape::Last),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariants 1 + 2, property-driven: arbitrary shape mixes, record
+    /// counts crossing the chunk boundary, and seeded lib-error/panic
+    /// faults. Every (worker count × mode) combination plus the sequential
+    /// reference must agree bit-for-bit on states, post-demotion flags, and
+    /// the quarantine report.
+    #[test]
+    fn aggregates_are_bit_identical_across_workers_and_modes(
+        shapes in prop::collection::vec(shape_strategy(), 1..5),
+        n_records in 1usize..700,
+        faults in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        silence_injected_panics();
+        let mut interner = Interner::new();
+        let probe = interner.intern("probe");
+        let (defs, proved) = defs_of(&shapes, &mut interner);
+        let queries = AggQuerySet::new(defs.clone(), proved);
+        let sequential = AggQuerySet::sequential(defs);
+        let plan = FaultPlan::seeded_kinds(
+            seed,
+            n_records,
+            faults.min(n_records),
+            &[FaultKind::LibError, FaultKind::Panic],
+        );
+
+        let reference = observable(&run(
+            1, AggMode::Consolidated, &sequential, probe, &plan, n_records, &interner,
+        ));
+        for workers in [1usize, 2, 8] {
+            for mode in [AggMode::Separate, AggMode::Consolidated] {
+                let got =
+                    observable(&run(workers, mode, &queries, probe, &plan, n_records, &interner));
+                prop_assert_eq!(
+                    (got.0, got.2),
+                    (reference.0.clone(), reference.2.clone()),
+                    "{workers} workers, {mode:?} must match the sequential reference"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_fold_panic_quarantines_only_the_owning_udaf() {
+    silence_injected_panics();
+    let mut interner = Interner::new();
+    let probe = interner.intern("probe");
+    // `risky` calls the trigger; `safe` never does and must keep every
+    // record — including the faulted one — in its aggregate.
+    let risky = parse_agg(
+        "aggregate risky @1 (v) { state s = 0;
+             fold  { p := probe(v); s := s + p; }
+             merge { s := s + rhs_s; } }",
+        &mut interner,
+    )
+    .expect("parses");
+    let safe = parse_agg(
+        "aggregate safe @2 (v) { state n = 0;
+             fold  { n := n + 1; }
+             merge { n := n + rhs_n; } }",
+        &mut interner,
+    )
+    .expect("parses");
+    let queries = AggQuerySet::new(vec![risky, safe], vec![true, true]);
+    let faulted = 137usize;
+    let n_records = 400usize;
+    let plan = FaultPlan::single(faulted, FaultKind::Panic);
+
+    let mut baseline: Option<(Vec<Vec<i64>>, naiad_lite::QuarantineReport)> = None;
+    for workers in [1usize, 2, 8] {
+        for mode in [AggMode::Separate, AggMode::Consolidated] {
+            let rep = run(workers, mode, &queries, probe, &plan, n_records, &interner);
+            // Exactly one (record, definition) pair is excluded.
+            assert_eq!(rep.quarantine.records_quarantined, 1, "{workers}w {mode:?}");
+            let e = &rep.quarantine.entries[0];
+            assert_eq!(e.record, faulted);
+            assert_eq!(e.query, Some(udf_lang::ast::ProgId(1)), "risky owns the fault");
+            // risky sums all records except the faulted one (values v - 40).
+            let sum_all: i64 = (0..n_records as i64).map(|v| v - 40).sum();
+            assert_eq!(rep.states[0], vec![sum_all - (faulted as i64 - 40)]);
+            // safe still counts every record.
+            assert_eq!(rep.states[1], vec![n_records as i64]);
+            match &baseline {
+                None => baseline = Some((rep.states.clone(), rep.quarantine.clone())),
+                Some((s, q)) => {
+                    assert_eq!(&rep.states, s, "{workers} workers {mode:?}");
+                    assert_eq!(&rep.quarantine, q, "{workers} workers {mode:?}");
+                }
+            }
+        }
+    }
+}
+
+/// Invariant 2 with *proved* flags coming from the real prover, over a real
+/// domain workload: the stock SUM/CNT/VAR/MIX families at test scale.
+#[test]
+fn domain_families_agree_across_modes_and_workers() {
+    let mut interner = Interner::new();
+    let env = udf_data::stock::StockEnv::new(&mut interner);
+    let records = udf_data::stock::dataset_sized(12, 300, 7);
+    for family in udf_data::agg::families(udf_data::DomainKind::Stock) {
+        let defs = (family.build)(4, 21, &mut interner);
+        let queries = AggQuerySet::prove(defs.clone(), &mut interner, &Default::default())
+            .expect("family proves");
+        assert_eq!(
+            queries.proved.iter().filter(|p| **p).count() == defs.len(),
+            family.provable,
+            "family {}",
+            family.label
+        );
+        let reference = quarantine_engine(1)
+            .run_agg(
+                &env,
+                &records,
+                &AggQuerySet::sequential(defs),
+                &interner,
+                AggMode::Consolidated,
+            )
+            .expect("reference runs");
+        for workers in [1usize, 2, 8] {
+            for mode in [AggMode::Separate, AggMode::Consolidated] {
+                let rep = quarantine_engine(workers)
+                    .run_agg(&env, &records, &queries, &interner, mode)
+                    .expect("family runs");
+                assert_eq!(
+                    rep.states, reference.states,
+                    "family {} at {workers} workers {mode:?}",
+                    family.label
+                );
+                assert!(rep.quarantine.is_clean(), "healthy dataset");
+            }
+        }
+    }
+}

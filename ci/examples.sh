@@ -1,0 +1,33 @@
+#!/bin/sh
+# Docs-as-tests: every example under examples/ must build and run to
+# completion. The examples double as the README's worked walkthroughs
+# (quickstart, fail-soft execution, plan-cache warm start, guarded
+# execution, pre-filtered consolidation, ...), and each one asserts its
+# own invariants internally (output parity, zero solver work on warm
+# hits, demotion self-healing, skip counts) — a panic or non-zero exit
+# here means the documented behaviour drifted from the code.
+set -eu
+cd "$(dirname "$0")/.."
+
+examples="quickstart weather_monitor flight_search scalability \
+failsoft warm_start guarded_execution prefiltered"
+
+for ex in $examples; do
+    [ -f "examples/$ex.rs" ] || { echo "missing examples/$ex.rs" >&2; exit 1; }
+done
+
+# Catch examples added to the tree but not to this list.
+for f in examples/*.rs; do
+    name="$(basename "$f" .rs)"
+    case " $examples " in
+        *" $name "*) ;;
+        *) echo "examples/$name.rs is not run by ci/examples.sh" >&2; exit 1 ;;
+    esac
+done
+
+for ex in $examples; do
+    echo "== example: $ex"
+    cargo run --release --example "$ex" >/dev/null
+done
+
+echo "examples OK: all $(echo $examples | wc -w) examples ran"

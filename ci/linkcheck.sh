@@ -1,0 +1,78 @@
+#!/bin/sh
+# Markdown link check: every relative link or image target in the repo's
+# tracked .md files must resolve to an existing file or directory, and
+# in-page / cross-page #anchors must match a heading in the target file.
+# External (http/https/mailto) links are not fetched — CI is offline.
+# Dead links exit non-zero.
+set -eu
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import os, re, subprocess, sys
+
+files = subprocess.run(
+    ["git", "ls-files", "*.md"], capture_output=True, text=True, check=True
+).stdout.split()
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+def slugify(heading):
+    # GitHub-style anchor: lowercase, drop punctuation, spaces to dashes.
+    h = heading.strip().lower()
+    h = re.sub(r"[`*_]", "", h)
+    h = re.sub(r"[^\w\- ]", "", h)
+    return h.replace(" ", "-")
+
+def anchors(path):
+    out = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = re.match(r"\s{0,3}(#{1,6})\s+(.*)", line)
+            if m:
+                out.add(slugify(m.group(2)))
+    return out
+
+anchor_cache = {}
+def anchors_of(path):
+    if path not in anchor_cache:
+        anchor_cache[path] = anchors(path)
+    return anchor_cache[path]
+
+bad = []
+for md in files:
+    in_fence = False
+    with open(md, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK.findall(line):
+                if re.match(r"^(https?:|mailto:|ftp:)", target):
+                    continue
+                target, _, frag = target.partition("#")
+                if not target:  # pure in-page anchor
+                    if frag and slugify(frag) not in anchors_of(md):
+                        bad.append(f"{md}:{lineno}: dead anchor #{frag}")
+                    continue
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md), target))
+                if not os.path.exists(dest):
+                    bad.append(f"{md}:{lineno}: dead link {target}")
+                    continue
+                if frag and dest.endswith(".md") \
+                        and slugify(frag) not in anchors_of(dest):
+                    bad.append(f"{md}:{lineno}: dead anchor {target}#{frag}")
+
+if bad:
+    print("\n".join(bad), file=sys.stderr)
+    sys.exit(1)
+print(f"linkcheck OK: {len(files)} markdown files, 0 dead links")
+EOF

@@ -79,6 +79,12 @@ pub struct Consolidated {
     /// (`consolidate_many` concatenates one [`crate::explain::PairExplain`]
     /// per engine pair).
     pub explain: Option<ExplainReport>,
+    /// The verified cross-query pre-filter, present iff
+    /// [`Options::prefilter`] was set *and* synthesis succeeded (synthesis
+    /// is fail-open: `None` here simply means the plan runs unfiltered).
+    /// Only [`consolidate_many`] synthesizes one; pairwise entry points
+    /// leave it `None`.
+    pub prefilter: Option<crate::prefilter::Prefilter>,
 }
 
 fn check_compatible(p1: &Program, p2: &Program) -> Result<(), ConsolidateError> {
@@ -135,6 +141,7 @@ pub(crate) fn consolidate_pair_budgeted(
             },
             elapsed: start.elapsed(),
             explain: None,
+            prefilter: None,
         });
     }
     let mut cx = SymbolicCtx::new(interner, opts.mode);
@@ -197,6 +204,7 @@ pub(crate) fn consolidate_pair_budgeted(
         },
         elapsed: start.elapsed(),
         explain,
+        prefilter: None,
     })
 }
 
@@ -356,6 +364,15 @@ pub fn consolidate_many(
     } else {
         DegradationTier::Sequential
     };
+    // Predicate pushdown rides the same run: extract a candidate from the
+    // *original* per-query programs and prove it against the merged output.
+    // Fail-open — every rejection leaves the plan exactly as without the
+    // knob (see `crate::prefilter`).
+    let prefilter = if opts.prefilter {
+        crate::prefilter::synthesize(programs, &program, interner, cm, fns, opts).ok()
+    } else {
+        None
+    };
     Ok(Consolidated {
         program,
         stats,
@@ -363,6 +380,7 @@ pub fn consolidate_many(
         explain: opts.explain.then_some(ExplainReport {
             pairs: explain_pairs,
         }),
+        prefilter,
     })
 }
 

@@ -18,6 +18,10 @@
 //! * [`rules`] — the Ω engine of Figure 8 applying Com/Skip/Assign/Step/
 //!   Seq/If 1–5/Loop 2–3;
 //! * [`api`] — pairwise and parallel divide-and-conquer n-way consolidation;
+//! * [`prefilter`] — cross-query predicate pushdown: synthesis of a sound,
+//!   parameter-only pre-filter whose failure proves every query notifies
+//!   `false`, letting the engine skip the merged program per record
+//!   (fail-open; see `DESIGN.md`);
 //! * [`explain`] — opt-in rule-derivation trees recording which rule fired
 //!   where and which entailments justified it (see `OBSERVABILITY.md`).
 //!
@@ -68,6 +72,7 @@ pub mod explain;
 pub mod homomorphism;
 pub mod invariants;
 pub mod memo;
+pub mod prefilter;
 pub mod rules;
 pub mod simplify;
 pub mod symbolic;
@@ -80,5 +85,6 @@ pub use homomorphism::{consolidate_aggs, AggConsolidation, AggProofStats, ProofO
 pub use explain::{EntailmentEvent, EntailmentVia, ExplainEntry, ExplainNode, ExplainReport,
                   PairExplain};
 pub use memo::EntailmentMemo;
+pub use prefilter::{Prefilter, Reject as PrefilterReject};
 pub use rules::{IfPolicy, Options, RuleStats};
 pub use symbolic::EntailmentMode;

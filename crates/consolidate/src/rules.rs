@@ -100,6 +100,10 @@ pub struct Options {
     /// [`crate::api::Consolidated::explain`]. Off by default: tracing
     /// allocates per rule commit and renders every queried formula.
     pub explain: bool,
+    /// Synthesize a sound cross-query pre-filter for the consolidated plan
+    /// (see [`crate::prefilter`]). Fail-open: when no candidate verifies,
+    /// the plan runs exactly as with the knob off. Off by default.
+    pub prefilter: bool,
 }
 
 impl Default for Options {
@@ -118,6 +122,7 @@ impl Default for Options {
             memo: None,
             recorder: udf_obs::RecorderCell::noop(),
             explain: false,
+            prefilter: false,
         }
     }
 }

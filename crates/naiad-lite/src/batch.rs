@@ -244,16 +244,44 @@ impl BatchVm {
         notify: &mut [i8],
         track_cost: bool,
     ) {
+        self.run_masked(progs, batch, env, recs, notify, track_cost, None);
+    }
+
+    /// [`BatchVm::run`] restricted to the lanes `mask` selects (`None` runs
+    /// them all). Masked-out lanes never execute: they keep cost 0, no
+    /// fault, and their `notify` slots untouched — the engine's pre-filter
+    /// uses this to compact skipped records out of the batch while leaving
+    /// their lane indices stable for the per-record policy replay.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_masked<E: UdfEnv>(
+        &mut self,
+        progs: &[&RegProgram],
+        batch: &RecordBatch,
+        env: &E,
+        recs: &[E::Rec],
+        notify: &mut [i8],
+        track_cost: bool,
+        mask: Option<&[bool]>,
+    ) {
         let cap = batch.len();
         debug_assert_eq!(recs.len(), cap);
+        debug_assert!(mask.is_none_or(|m| m.len() == cap));
         self.fuel.resize(cap, 0);
         self.cost.resize(cap, 0);
         self.cost[..cap].fill(0);
         self.fault.resize_with(cap, || None);
         self.fault[..cap].fill_with(|| None);
         self.alive.clear();
-        self.alive
-            .extend((0..cap).map(|l| u32::try_from(l).expect("batch fits u32")));
+        match mask {
+            None => self
+                .alive
+                .extend((0..cap).map(|l| u32::try_from(l).expect("batch fits u32"))),
+            Some(m) => self.alive.extend(
+                (0..cap)
+                    .filter(|&l| m[l])
+                    .map(|l| u32::try_from(l).expect("batch fits u32")),
+            ),
+        }
         for (pi, prog) in progs.iter().enumerate() {
             if self.alive.is_empty() {
                 break;
@@ -295,10 +323,31 @@ impl BatchVm {
         if self.regs.len() < n_regs * cap {
             self.regs.resize(n_regs * cap, 0);
         }
-        for p in 0..prog.n_params as usize {
-            self.regs[p * cap..(p + 1) * cap].copy_from_slice(batch.col(p));
+        // When a pre-filter mask leaves only a few lanes alive, column-wide
+        // initialization would dominate the masked run (it is O(slots × cap)
+        // no matter how many lanes actually execute), so gather-init just
+        // the alive lanes instead. Dead lanes keep stale register values —
+        // harmless, they are never scheduled. Dense runs keep the memcpy.
+        if self.alive.len() * 2 < cap {
+            for p in 0..prog.n_params as usize {
+                let col = batch.col(p);
+                let base = p * cap;
+                for &l in &self.alive {
+                    self.regs[base + l as usize] = col[l as usize];
+                }
+            }
+            for s in prog.n_params as usize..prog.n_slots as usize {
+                let base = s * cap;
+                for &l in &self.alive {
+                    self.regs[base + l as usize] = 0;
+                }
+            }
+        } else {
+            for p in 0..prog.n_params as usize {
+                self.regs[p * cap..(p + 1) * cap].copy_from_slice(batch.col(p));
+            }
+            self.regs[prog.n_params as usize * cap..prog.n_slots as usize * cap].fill(0);
         }
-        self.regs[prog.n_params as usize * cap..prog.n_slots as usize * cap].fill(0);
         for &l in &self.alive {
             self.fuel[l as usize] = self.fuel_budget;
         }

@@ -50,6 +50,42 @@ pub enum ExecMode {
     Consolidated,
 }
 
+/// A synthesized pre-filter compiled for execution (see
+/// [`consolidate::Prefilter`]). The guard program evaluates the pre-filter
+/// condition over a record's parameters and notifies a single dense query
+/// (index 0) with the verdict: `false` means *no* query of the set can
+/// notify `true` on this record, so the consolidated UDF may be skipped.
+///
+/// # Soundness of skipping
+///
+/// The verifier admitted the condition only after proving that, under its
+/// negation, the merged program reaches no external call, no loop, and
+/// notifies exactly `false` for every query on every path. A skipped record
+/// therefore (a) observes the same library-call sequence as a real run —
+/// none — so stateful or fault-injecting environments stay in lockstep, and
+/// (b) could only have faulted on fuel. The loop-free path executes at most
+/// one instruction per bytecode slot, so requiring the run's fuel budget to
+/// be at least [`PrefilterExec::min_fuel`] (the consolidated instruction
+/// count) rules that out too; smaller budgets disable skipping entirely
+/// (fail-open). A pre-filter evaluation error likewise falls back to the
+/// full run for that record.
+#[derive(Debug, Clone)]
+pub struct PrefilterExec {
+    /// Stack-bytecode guard (notifies dense query 0 with the verdict).
+    pub compiled: Compiled,
+    /// Register lowering of the guard for [`ExecBackend::Columnar`].
+    pub reg: RegProgram,
+    /// Direct evaluator for the condition, used by both backends when the
+    /// condition stays in the pure call-free fragment (synthesized
+    /// conditions always do). `None` falls back to the compiled guard.
+    /// See [`crate::fastpred`] for why the VM is too slow here.
+    pub fast: Option<crate::fastpred::FastPred>,
+    /// Minimum per-record fuel budget for which skipping is sound: the
+    /// consolidated program's instruction count (its longest loop-free
+    /// path).
+    pub min_fuel: u64,
+}
+
 /// A compiled set of queries over one dataset.
 #[derive(Debug, Clone)]
 pub struct QuerySet {
@@ -65,6 +101,10 @@ pub struct QuerySet {
     pub reg_many: Vec<RegProgram>,
     /// Register-bytecode lowering of [`QuerySet::consolidated`].
     pub reg_consolidated: Option<RegProgram>,
+    /// Synthesized pre-filter, executed before the consolidated UDF when the
+    /// fuel budget allows (see [`PrefilterExec`]). Never applies to
+    /// [`ExecMode::Many`], whose sequential semantics *is* the reference.
+    pub prefilter: Option<PrefilterExec>,
     /// Time spent consolidating (reported separately, as in Figure 10).
     pub consolidation_time: Duration,
     /// Per-record VM step budget ([`DEFAULT_FUEL`] unless overridden here or
@@ -100,6 +140,7 @@ impl QuerySet {
             consolidated: None,
             reg_many,
             reg_consolidated: None,
+            prefilter: None,
             consolidation_time: Duration::ZERO,
             fuel: DEFAULT_FUEL,
             plan_key: None,
@@ -149,6 +190,53 @@ impl QuerySet {
         Ok(self)
     }
 
+    /// Attaches a verified pre-filter condition (from
+    /// [`consolidate::Prefilter::cond`]). `merged` must be the same program
+    /// passed to [`QuerySet::with_consolidated`], which must have been
+    /// called first — the skip-soundness fuel floor is derived from its
+    /// instruction count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::compile::CompileError`]. Returns
+    /// [`crate::compile::CompileError::UnknownQueryId`] never in practice
+    /// (the guard notifies the one id it declares).
+    pub fn with_prefilter(
+        mut self,
+        cond: &udf_lang::ast::BoolExpr,
+        merged: &udf_lang::ast::Program,
+        cm: &CostModel,
+        fn_cost: &dyn Fn(Symbol) -> Cost,
+    ) -> Result<QuerySet, crate::compile::CompileError> {
+        debug_assert!(
+            self.consolidated.is_some(),
+            "with_prefilter requires with_consolidated first"
+        );
+        let guard = udf_lang::ast::Program::new(
+            ProgId(0),
+            merged.params.clone(),
+            udf_lang::ast::Stmt::ite(
+                cond.clone(),
+                udf_lang::ast::Stmt::Notify(ProgId(0), true),
+                udf_lang::ast::Stmt::Notify(ProgId(0), false),
+            ),
+        );
+        let compiled = Compiled::compile(&guard, &[ProgId(0)], cm, fn_cost)?;
+        let min_fuel = self
+            .consolidated
+            .as_ref()
+            .map_or(u64::MAX, |c| c.ops.len() as u64);
+        let reg = RegProgram::lower(&compiled);
+        let fast = crate::fastpred::FastPred::build(cond, &merged.params);
+        self.prefilter = Some(PrefilterExec {
+            compiled,
+            reg,
+            fast,
+            min_fuel,
+        });
+        Ok(self)
+    }
+
     /// Compiles the per-query UDFs *and* a consolidated program obtained
     /// through `cache`: a stored plan is served when the tier-upgrade rule
     /// allows (skipping the Ω engine and the SMT solver entirely),
@@ -178,9 +266,12 @@ impl QuerySet {
             cache, programs, interner, cm, fns, opts, parallel, backend,
         )?;
         let key = plan_cache::PlanKey::derive(programs, interner, opts, cm, backend);
-        let qs = QuerySet::compile_many(programs, cm, fn_cost)?
+        let mut qs = QuerySet::compile_many(programs, cm, fn_cost)?
             .with_consolidated(&merged.program, cm, fn_cost, merged.elapsed)?
             .with_plan_key(key);
+        if let Some(pf) = &merged.prefilter {
+            qs = qs.with_prefilter(&pf.cond, &merged.program, cm, fn_cost)?;
+        }
         opts.recorder.observe(names::REGCODE_FOLD_NS, qs.fold_ns());
         Ok((qs, merged, outcome))
     }
@@ -534,6 +625,12 @@ pub struct JobReport {
     pub cost: Option<u64>,
     /// Records processed (including quarantined ones).
     pub records: usize,
+    /// Records the synthesized pre-filter skipped (0 when no pre-filter is
+    /// attached, the mode is [`ExecMode::Many`], or the fuel budget is below
+    /// [`PrefilterExec::min_fuel`]). Skipped records still count toward
+    /// [`JobReport::records`] and contribute an all-`false` broadcast to
+    /// every query; only their evaluation cost is saved.
+    pub prefilter_skipped: u64,
     /// What was dropped instead of failing (empty under
     /// [`ErrorPolicy::FailFast`]).
     pub quarantine: QuarantineReport,
@@ -772,6 +869,7 @@ impl Engine {
         let mut counts = vec![0u64; n_q];
         let mut missing = vec![0u64; n_q];
         let mut cost = 0u64;
+        let mut prefilter_skipped = 0u64;
         let mut quarantine = QuarantineReport::default();
         for (shard_idx, (len, joined)) in shard_results.into_iter().enumerate() {
             let s = match joined {
@@ -797,6 +895,7 @@ impl Engine {
                 missing[q] += s.missing[q];
             }
             cost += s.cost;
+            prefilter_skipped += s.prefilter_skipped;
             quarantine.entries.extend(s.quarantine);
             quarantine.records_retried += s.records_retried;
             quarantine.retry_attempts += s.retry_attempts;
@@ -829,6 +928,7 @@ impl Engine {
             udf_time,
             cost: track_cost.then_some(cost),
             records: records.len(),
+            prefilter_skipped,
             quarantine,
             plan_cache: self.config.plan_cache.as_ref().map(|c| c.stats()),
             metrics: self.config.recorder.snapshot(),
@@ -856,6 +956,7 @@ struct ShardOut {
     records_retried: usize,
     retry_attempts: u64,
     records_recovered: usize,
+    prefilter_skipped: u64,
 }
 
 /// How one record's evaluation ended.
@@ -933,11 +1034,25 @@ fn run_shard<E: UdfEnv>(
     // Built lazily on the first sampled record; kept separate from the
     // primary VM so shadow runs never disturb its state.
     let mut shadow_vm: Option<Vm> = None;
+    // The pre-filter applies only to the consolidated operator and only
+    // when the fuel budget clears its soundness floor (see PrefilterExec).
+    let prefilter = queries.prefilter.as_ref().filter(|pf| {
+        mode == ExecMode::Consolidated && fuel >= pf.min_fuel
+    });
+    // Separate machine so a skip decision never disturbs the primary VM.
+    // Only materialized for the VM fallback; synthesized conditions take
+    // the direct-evaluator path and never touch a second machine.
+    let mut pf_vm = prefilter
+        .filter(|pf| pf.fast.is_none())
+        .map(|_| Vm::new().with_fuel(fuel));
+    let mut pf_notify = [NOTIFY_NONE; 1];
+    let mut pf_args: Vec<i64> = Vec::new();
     let mut notify = vec![NOTIFY_NONE; n_q];
     let mut counts = vec![0u64; n_q];
     let mut missing = vec![0u64; n_q];
     let mut cost = 0u64;
     let mut processed = 0u64;
+    let mut prefilter_skipped = 0u64;
     let mut quarantine: Vec<QuarantineEntry> = Vec::new();
     let mut records_retried = 0usize;
     let mut retry_attempts = 0u64;
@@ -953,29 +1068,57 @@ fn run_shard<E: UdfEnv>(
         processed += 1;
         // The span reads the clock only when the sink is enabled, so the
         // disabled-default hot path stays timer-free.
-        let _record_span = recorder.span(names::ENGINE_RECORD_NS);
+        let _record_span = recorder
+            .enabled()
+            .then(|| recorder.span(names::ENGINE_RECORD_NS));
         let mut retries_used = 0u32;
+        // Pre-filter: a verdict of `false` proves every query broadcasts
+        // `false` on this record without touching the environment, so the
+        // consolidated run is replaced by its proven outcome. Evaluation
+        // errors (e.g. a tiny fuel budget) fall back to the full run.
+        let skipped = prefilter.is_some_and(|pf| {
+            if let Some(fast) = &pf.fast {
+                pf_args.clear();
+                env.args(rec, &mut pf_args);
+                !fast.eval(&pf_args)
+            } else {
+                let pvm = pf_vm.as_mut().expect("pf_vm exists with VM fallback");
+                pf_notify[0] = NOTIFY_NONE;
+                match pvm.run(&pf.compiled, env, rec, &mut pf_notify, false) {
+                    Ok(_) => pf_notify[0] == 0,
+                    Err(_) => false,
+                }
+            }
+        });
         // Retry loop: only transient faults re-enter; everything else (and
         // transient faults past the budget) falls through to the policy
         // below. `transient` rides along in the Err so the guard can skip
         // shadowing records whose fault state is attempt-dependent.
-        let outcome = loop {
-            notify.fill(NOTIFY_NONE);
-            match eval_record(&mut vm, env, rec, queries, mode, track_cost, &mut notify) {
-                Ok(c) => break Ok(c),
-                Err((query, fault)) => {
-                    let transient =
-                        matches!(&fault, RecordFault::Vm(e) if e.is_transient());
-                    if transient && retries_used < retry.max_retries {
-                        retries_used += 1;
-                        recorder.add(names::ENGINE_RETRIES, 1);
-                        let delay = retry.backoff(record, retries_used);
-                        if !delay.is_zero() {
-                            std::thread::sleep(delay);
+        let outcome = if skipped {
+            prefilter_skipped += 1;
+            // The proven outcome: every query notified `false`, no calls
+            // were made, no cost accrued.
+            notify.fill(0);
+            Ok(0)
+        } else {
+            loop {
+                notify.fill(NOTIFY_NONE);
+                match eval_record(&mut vm, env, rec, queries, mode, track_cost, &mut notify) {
+                    Ok(c) => break Ok(c),
+                    Err((query, fault)) => {
+                        let transient =
+                            matches!(&fault, RecordFault::Vm(e) if e.is_transient());
+                        if transient && retries_used < retry.max_retries {
+                            retries_used += 1;
+                            recorder.add(names::ENGINE_RETRIES, 1);
+                            let delay = retry.backoff(record, retries_used);
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            continue;
                         }
-                        continue;
+                        break Err((query, fault, transient));
                     }
-                    break Err((query, fault, transient));
                 }
             }
         };
@@ -1032,11 +1175,15 @@ fn run_shard<E: UdfEnv>(
         match outcome {
             Ok(c) => {
                 cost += c;
-                for q in 0..n_q {
-                    match notify[q] {
-                        1 => counts[q] += 1,
-                        0 => {}
-                        _ => missing[q] += 1,
+                // A skipped record's notification vector is all-`false` by
+                // construction: nothing to count, nothing missing.
+                if !skipped {
+                    for q in 0..n_q {
+                        match notify[q] {
+                            1 => counts[q] += 1,
+                            0 => {}
+                            _ => missing[q] += 1,
+                        }
                     }
                 }
             }
@@ -1095,6 +1242,16 @@ fn run_shard<E: UdfEnv>(
         }
     }
     recorder.add(names::ENGINE_RECORDS, processed);
+    if prefilter.is_some() {
+        // Emitted as shard totals, not per record: the counters are
+        // aggregated sums either way, and a virtual-dispatch sink call per
+        // record would cost a measurable slice of the skip path it meters.
+        recorder.add(names::PREFILTER_RECORDS_SKIPPED, prefilter_skipped);
+        recorder.add(
+            names::PREFILTER_RECORDS_PASSED,
+            processed - prefilter_skipped,
+        );
+    }
     Ok(ShardOut {
         counts,
         missing,
@@ -1103,6 +1260,7 @@ fn run_shard<E: UdfEnv>(
         records_retried,
         retry_attempts,
         records_recovered,
+        prefilter_skipped,
     })
 }
 
@@ -1146,12 +1304,28 @@ fn run_shard_columnar<E: UdfEnv>(
     // path, as the per-record backend does on every attempt).
     let mut scalar_vm = Vm::new().with_fuel(fuel);
     let mut shadow_vm: Option<Vm> = None;
+    // As in run_shard: the pre-filter applies only to the consolidated
+    // operator under a sufficient fuel budget. It runs as its own batch
+    // pass whose verdicts become the selection mask of the main run.
+    let prefilter = queries.prefilter.as_ref().filter(|pf| {
+        mode == ExecMode::Consolidated && fuel >= pf.min_fuel
+    });
+    // The batch guard machine is only materialized for the VM fallback;
+    // synthesized conditions take the direct-evaluator path.
+    let mut pf_bvm = prefilter
+        .filter(|pf| pf.fast.is_none())
+        .map(|_| BatchVm::new(fuel));
+    let mut pf_notify: Vec<i8> = Vec::new();
+    let mut pf_args: Vec<i64> = Vec::new();
+    let mut pf_mask: Vec<bool> = Vec::new();
+    let mut pf_skip: Vec<bool> = Vec::new();
     let mut row = Vec::new();
     let mut notify: Vec<i8> = Vec::new();
     let mut counts = vec![0u64; n_q];
     let mut missing = vec![0u64; n_q];
     let mut cost = 0u64;
     let mut processed = 0u64;
+    let mut prefilter_skipped = 0u64;
     let mut quarantine: Vec<QuarantineEntry> = Vec::new();
     let mut records_retried = 0usize;
     let mut retry_attempts = 0u64;
@@ -1166,7 +1340,52 @@ fn run_shard_columnar<E: UdfEnv>(
         {
             let _batch_span = recorder.span(names::ENGINE_BATCH_NS);
             batch.regather(env, chunk, &mut row);
-            bvm.run(&progs, &batch, env, chunk, &mut notify, track_cost);
+            if let Some(pf) = prefilter {
+                // Pre-filter pass: the guard is call-free, so this touches
+                // no environment state. A lane whose verdict is `false`
+                // (and that did not fault in the guard — fail-open) is
+                // compacted out of the main run's selection and assigned
+                // its proven outcome: all queries `false`, zero cost.
+                pf_mask.clear();
+                pf_skip.clear();
+                if let Some(fast) = &pf.fast {
+                    for rec in chunk {
+                        pf_args.clear();
+                        env.args(rec, &mut pf_args);
+                        let skip = !fast.eval(&pf_args);
+                        pf_skip.push(skip);
+                        pf_mask.push(!skip);
+                    }
+                } else {
+                    let pbvm =
+                        pf_bvm.as_mut().expect("pf_bvm exists with VM fallback");
+                    pf_notify.clear();
+                    pf_notify.resize(chunk.len(), NOTIFY_NONE);
+                    pbvm.run(&[&pf.reg], &batch, env, chunk, &mut pf_notify, false);
+                    for (l, &verdict) in pf_notify.iter().enumerate().take(chunk.len()) {
+                        let faulted = pbvm.take_fault(l).is_some();
+                        let skip = !faulted && verdict == 0;
+                        pf_skip.push(skip);
+                        pf_mask.push(!skip);
+                    }
+                }
+                bvm.run_masked(
+                    &progs,
+                    &batch,
+                    env,
+                    chunk,
+                    &mut notify,
+                    track_cost,
+                    Some(&pf_mask),
+                );
+                for (l, &skip) in pf_skip.iter().enumerate() {
+                    if skip {
+                        notify[l * n_q..(l + 1) * n_q].fill(0);
+                    }
+                }
+            } else {
+                bvm.run(&progs, &batch, env, chunk, &mut notify, track_cost);
+            }
         }
         for (k, rec) in chunk.iter().enumerate() {
             if guard.is_some_and(|g| g.tripped()) {
@@ -1177,7 +1396,16 @@ fn run_shard_columnar<E: UdfEnv>(
             }
             let record = chunk_base + k;
             processed += 1;
-            let _record_span = recorder.span(names::ENGINE_RECORD_NS);
+            let _record_span = recorder
+                .enabled()
+                .then(|| recorder.span(names::ENGINE_RECORD_NS));
+            // Per-lane pre-filter accounting happens here, in record order,
+            // so early termination (guard trip, quarantine overflow) leaves
+            // counters identical to the per-record backend's. (The recorder
+            // sees shard totals, emitted after the loop.)
+            if prefilter.is_some() && pf_skip[k] {
+                prefilter_skipped += 1;
+            }
             let lane_notify = &mut notify[k * n_q..(k + 1) * n_q];
             let mut retries_used = 0u32;
             let mut cur: Result<u64, (Option<ProgId>, RecordFault)> = match bvm.take_fault(k) {
@@ -1271,11 +1499,14 @@ fn run_shard_columnar<E: UdfEnv>(
             match outcome {
                 Ok(c) => {
                     cost += c;
-                    for q in 0..n_q {
-                        match lane_notify[q] {
-                            1 => counts[q] += 1,
-                            0 => {}
-                            _ => missing[q] += 1,
+                    // Skipped lanes are all-`false` by construction.
+                    if !(prefilter.is_some() && pf_skip[k]) {
+                        for q in 0..n_q {
+                            match lane_notify[q] {
+                                1 => counts[q] += 1,
+                                0 => {}
+                                _ => missing[q] += 1,
+                            }
                         }
                     }
                 }
@@ -1334,6 +1565,14 @@ fn run_shard_columnar<E: UdfEnv>(
         }
     }
     recorder.add(names::ENGINE_RECORDS, processed);
+    if prefilter.is_some() {
+        // Shard totals, mirroring run_shard's batched emission.
+        recorder.add(names::PREFILTER_RECORDS_SKIPPED, prefilter_skipped);
+        recorder.add(
+            names::PREFILTER_RECORDS_PASSED,
+            processed - prefilter_skipped,
+        );
+    }
     Ok(ShardOut {
         counts,
         missing,
@@ -1342,6 +1581,7 @@ fn run_shard_columnar<E: UdfEnv>(
         records_retried,
         retry_attempts,
         records_recovered,
+        prefilter_skipped,
     })
 }
 

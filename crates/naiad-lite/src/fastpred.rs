@@ -1,0 +1,228 @@
+//! Closed-form evaluator for synthesized pre-filter conditions.
+//!
+//! The pre-filter synthesis pass ([`consolidate::prefilter`]) only ever
+//! produces conditions built from record parameters, integer literals and
+//! the wrapping arithmetic/comparison operators — never library calls and
+//! never loops. Running such a condition through the stack VM costs a full
+//! per-record machine setup (slot reset, argument copy, fuel bookkeeping,
+//! one dispatch per instruction), which on well-consolidated cheap families
+//! rivals the cost of the merged program's own fast-fail path and erases
+//! the pushdown's win. This module evaluates the condition directly over
+//! the record's argument vector instead: a small expression tree whose
+//! leaves are pre-resolved parameter indices, evaluated in a handful of
+//! nanoseconds with no fuel, no slots and no failure paths.
+//!
+//! # Semantic equivalence
+//!
+//! The evaluator is exactly the VM on the supported fragment:
+//!
+//! * arithmetic uses [`IntOp::apply`] — the same two's-complement wrapping
+//!   semantics the VM's `Add`/`Sub`/`Mul` opcodes implement;
+//! * comparisons use [`CmpOp::apply`], mirroring `Lt`/`Le`/`EqI`;
+//! * `&&` / `||` are evaluated with short-circuiting, which on this pure,
+//!   total fragment is observationally identical to the language's strict
+//!   connectives — there are no side effects, faults or costs the skipped
+//!   operand could contribute.
+//!
+//! Unlike the VM path the evaluator is *total*: it cannot run out of fuel.
+//! That only widens the set of records that receive an exact verdict (the
+//! VM path fails open on evaluation errors); the skip decision itself is
+//! still licensed by the synthesis-time proof, so exactness is sound.
+//!
+//! [`build`](FastPred::build) returns `None` when the condition strays
+//! outside the fragment (a library call, or a variable that is not a
+//! parameter of the merged program) — the engine then falls back to the
+//! compiled-guard VM path, preserving behaviour for hand-constructed
+//! conditions.
+
+use udf_lang::ast::{BoolExpr, BoolOp, CmpOp, IntExpr, IntOp};
+use udf_lang::intern::Symbol;
+
+#[derive(Debug, Clone)]
+enum IntNode {
+    Const(i64),
+    /// Index into the record's argument vector.
+    Param(u32),
+    Bin(IntOp, Box<IntNode>, Box<IntNode>),
+}
+
+#[derive(Debug, Clone)]
+enum BoolNode {
+    Const(bool),
+    Cmp(CmpOp, IntNode, IntNode),
+    Not(Box<BoolNode>),
+    Bin(BoolOp, Box<BoolNode>, Box<BoolNode>),
+}
+
+/// A pre-filter condition compiled to a direct-evaluation tree with
+/// parameter references resolved to argument-vector indices.
+#[derive(Debug, Clone)]
+pub struct FastPred {
+    root: BoolNode,
+}
+
+impl FastPred {
+    /// Compiles `cond` against the merged program's parameter list.
+    /// Returns `None` if the condition uses a library call or an unknown
+    /// variable (the caller falls back to the compiled-guard VM).
+    #[must_use]
+    pub fn build(cond: &BoolExpr, params: &[Symbol]) -> Option<FastPred> {
+        Some(FastPred {
+            root: build_bool(cond, params)?,
+        })
+    }
+
+    /// Evaluates the condition over a record's argument vector (as
+    /// produced by [`crate::env::UdfEnv::args`]). Total: never faults,
+    /// never consumes fuel.
+    #[inline]
+    #[must_use]
+    pub fn eval(&self, args: &[i64]) -> bool {
+        eval_bool(&self.root, args)
+    }
+}
+
+fn build_int(e: &IntExpr, params: &[Symbol]) -> Option<IntNode> {
+    match e {
+        IntExpr::Const(c) => Some(IntNode::Const(*c)),
+        IntExpr::Var(s) => {
+            let idx = params.iter().position(|p| p == s)?;
+            Some(IntNode::Param(u32::try_from(idx).ok()?))
+        }
+        IntExpr::Call(..) => None,
+        IntExpr::Bin(op, a, b) => Some(IntNode::Bin(
+            *op,
+            Box::new(build_int(a, params)?),
+            Box::new(build_int(b, params)?),
+        )),
+    }
+}
+
+fn build_bool(e: &BoolExpr, params: &[Symbol]) -> Option<BoolNode> {
+    match e {
+        BoolExpr::Const(b) => Some(BoolNode::Const(*b)),
+        BoolExpr::Cmp(op, a, b) => Some(BoolNode::Cmp(
+            *op,
+            build_int(a, params)?,
+            build_int(b, params)?,
+        )),
+        BoolExpr::Not(a) => Some(BoolNode::Not(Box::new(build_bool(a, params)?))),
+        BoolExpr::Bin(op, a, b) => Some(BoolNode::Bin(
+            *op,
+            Box::new(build_bool(a, params)?),
+            Box::new(build_bool(b, params)?),
+        )),
+    }
+}
+
+fn eval_int(n: &IntNode, args: &[i64]) -> i64 {
+    match n {
+        IntNode::Const(c) => *c,
+        IntNode::Param(i) => args[*i as usize],
+        IntNode::Bin(op, a, b) => op.apply(eval_int(a, args), eval_int(b, args)),
+    }
+}
+
+fn eval_bool(n: &BoolNode, args: &[i64]) -> bool {
+    match n {
+        BoolNode::Const(b) => *b,
+        BoolNode::Cmp(op, a, b) => op.apply(eval_int(a, args), eval_int(b, args)),
+        BoolNode::Not(a) => !eval_bool(a, args),
+        // Short-circuiting is sound here: the fragment is pure and total,
+        // so the strict connectives of the language are indistinguishable.
+        BoolNode::Bin(BoolOp::And, a, b) => eval_bool(a, args) && eval_bool(b, args),
+        BoolNode::Bin(BoolOp::Or, a, b) => eval_bool(a, args) || eval_bool(b, args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{Compiled, Vm, NOTIFY_NONE};
+    use crate::env::{ScalarEnv, UdfEnv};
+    use udf_lang::ast::{ProgId, Program, Stmt};
+    use udf_lang::cost::CostModel;
+    use udf_lang::intern::Interner;
+
+    /// The direct evaluator must agree with the VM on the compiled guard
+    /// program for every record — including wrapping overflow operands.
+    #[test]
+    fn matches_vm_on_guard_program() {
+        let mut interner = Interner::default();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        let params = vec![a, b];
+        let cond = BoolExpr::or(
+            BoolExpr::Cmp(
+                CmpOp::Le,
+                IntExpr::Const(40),
+                IntExpr::add(
+                    IntExpr::Var(a),
+                    IntExpr::mul(IntExpr::Var(b), IntExpr::Const(3)),
+                ),
+            ),
+            BoolExpr::and(
+                BoolExpr::Cmp(CmpOp::Lt, IntExpr::Var(b), IntExpr::Const(-5)),
+                BoolExpr::not(BoolExpr::Cmp(
+                    CmpOp::Eq,
+                    IntExpr::Var(a),
+                    IntExpr::Const(0),
+                )),
+            ),
+        );
+        let fast = FastPred::build(&cond, &params).expect("fragment supported");
+
+        let guard = Program::new(
+            ProgId(0),
+            params.clone(),
+            Stmt::ite(
+                cond,
+                Stmt::Notify(ProgId(0), true),
+                Stmt::Notify(ProgId(0), false),
+            ),
+        );
+        let cm = CostModel::default();
+        let compiled =
+            Compiled::compile(&guard, &[ProgId(0)], &cm, &|_| 1).expect("compiles");
+        let env = ScalarEnv::new(2, udf_lang::FnLibrary::default());
+        let mut vm = Vm::new();
+        let mut notify = [NOTIFY_NONE; 1];
+        let mut args = Vec::new();
+        for rec in [
+            vec![0i64, 0],
+            vec![41, 0],
+            vec![10, 10],
+            vec![1, -6],
+            vec![0, -6],
+            vec![i64::MAX, 1],
+            vec![i64::MIN, i64::MAX],
+        ] {
+            notify[0] = NOTIFY_NONE;
+            vm.run(&compiled, &env, &rec, &mut notify, false)
+                .expect("guard is total");
+            args.clear();
+            env.args(&rec, &mut args);
+            assert_eq!(
+                fast.eval(&args),
+                notify[0] == 1,
+                "fast/VM divergence on {rec:?}"
+            );
+        }
+    }
+
+    /// Conditions outside the pure fragment refuse to build.
+    #[test]
+    fn rejects_calls_and_unknown_vars() {
+        let mut interner = Interner::default();
+        let a = interner.intern("a");
+        let f = interner.intern("f");
+        let call = BoolExpr::Cmp(
+            CmpOp::Lt,
+            IntExpr::Call(f, vec![IntExpr::Var(a)]),
+            IntExpr::Const(0),
+        );
+        assert!(FastPred::build(&call, &[a]).is_none());
+        let unknown = BoolExpr::Cmp(CmpOp::Lt, IntExpr::Var(f), IntExpr::Const(0));
+        assert!(FastPred::build(&unknown, &[a]).is_none());
+    }
+}

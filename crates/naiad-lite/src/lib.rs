@@ -57,6 +57,7 @@ pub mod batch;
 pub mod compile;
 pub mod engine;
 pub mod env;
+pub mod fastpred;
 pub mod fault;
 pub mod guard;
 pub mod regcode;

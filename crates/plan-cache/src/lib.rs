@@ -137,6 +137,9 @@ impl PlanKey {
             consolidate::IfPolicy::AlwaysIf5 => 4,
         });
         h.byte(u8::from(opts.loop_fusion));
+        // Pushdown shapes the stored plan (a `Prefilter` section), so
+        // prefilter-on and prefilter-off occupy distinct entries.
+        h.byte(u8::from(opts.prefilter));
         h.u64(opts.if3_size_limit as u64);
         h.u64(opts.max_depth as u64);
         h.u64(opts.max_pair_queries);
@@ -210,7 +213,7 @@ pub struct CachedPlan {
 impl CachedPlan {
     /// Packages a program consolidation result for caching.
     pub fn new(program: PortableProgram, stats: ConsolidationStats) -> CachedPlan {
-        CachedPlan::from_plan(PortablePlan::Program(program), stats)
+        CachedPlan::from_plan(PortablePlan::Program(Box::new(program)), stats)
     }
 
     /// Packages a proved aggregation set for caching.
@@ -640,6 +643,16 @@ pub fn consolidate_many_cached(
     }
     let start = Instant::now();
     let key = PlanKey::derive(programs, interner, opts, cm, backend);
+    // Rebuilds the stored pre-filter (if any) against the caller's interner;
+    // synthesis counters are zero on a reload — no proving was done.
+    let rehydrate = |pp: &PortableProgram, interner: &mut Interner| {
+        pp.prefilter.as_ref().map(|pb| consolidate::Prefilter {
+            cond: pb.to_bool(interner),
+            queries: u32::try_from(programs.len()).unwrap_or(u32::MAX),
+            paths_checked: 0,
+            entailment_queries: 0,
+        })
+    };
     // Defensive: the agg key space is disjoint by construction, but an
     // entry of the wrong shape is treated as a miss rather than served.
     let cached = cache.get(key).filter(|p| p.program().is_some());
@@ -656,6 +669,7 @@ pub fn consolidate_many_cached(
                         stats,
                         elapsed: start.elapsed(),
                         explain: None,
+                        prefilter: rehydrate(pp, interner),
                     },
                     PlanOutcome::Hit,
                 ));
@@ -683,12 +697,17 @@ pub fn consolidate_many_cached(
                     stats,
                     elapsed: start.elapsed(),
                     explain: None,
+                    prefilter: rehydrate(pp, interner),
                 },
                 PlanOutcome::Upgrade,
             ))
         }
         None => {
-            let portable = PortableProgram::from_program(&fresh.program, interner);
+            let mut portable = PortableProgram::from_program(&fresh.program, interner);
+            portable.prefilter = fresh
+                .prefilter
+                .as_ref()
+                .map(|pf| portable::PBool::from_bool(&pf.cond, interner));
             cache.insert(key, CachedPlan::new(portable, fresh.stats));
             if cached.is_some() {
                 opts.recorder.add(udf_obs::names::PLAN_CACHE_UPGRADE, 1);
@@ -1030,6 +1049,7 @@ mod tests {
                     id,
                     params: vec!["x".to_owned()],
                     body: portable::PStmt::Skip,
+                    prefilter: None,
                 },
                 ConsolidationStats::default(),
             )
@@ -1058,6 +1078,7 @@ mod tests {
                     id,
                     params: vec![],
                     body: portable::PStmt::Skip,
+                    prefilter: None,
                 },
                 ConsolidationStats::default(),
             )
@@ -1088,6 +1109,7 @@ mod tests {
                     id: 1,
                     params: vec![],
                     body: portable::PStmt::Skip,
+                    prefilter: None,
                 },
                 ConsolidationStats::default(),
             );
@@ -1123,6 +1145,7 @@ mod tests {
                     id,
                     params: vec![],
                     body: portable::PStmt::Skip,
+                    prefilter: None,
                 },
                 ConsolidationStats::default(),
             )

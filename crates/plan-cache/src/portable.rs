@@ -72,6 +72,12 @@ pub struct PortableProgram {
     pub params: Vec<String>,
     /// Body.
     pub body: PStmt,
+    /// The plan's verified cross-query pre-filter condition, when one was
+    /// synthesized (see `consolidate::prefilter`). Parameter-only and
+    /// call-free by construction; round-trips through the wire form as an
+    /// optional `(prefilter …)` section so cached and snapshotted plans
+    /// keep their pushdown acceleration.
+    pub prefilter: Option<PBool>,
 }
 
 fn p_int(e: &IntExpr, i: &Interner) -> PInt {
@@ -137,6 +143,18 @@ fn r_stmt(s: &PStmt, i: &mut Interner) -> Stmt {
     }
 }
 
+impl PBool {
+    /// Resolves every symbol of `e` against `interner`.
+    pub fn from_bool(e: &BoolExpr, interner: &Interner) -> PBool {
+        p_bool(e, interner)
+    }
+
+    /// Re-interns every name into `interner`, rebuilding the AST.
+    pub fn to_bool(&self, interner: &mut Interner) -> BoolExpr {
+        r_bool(self, interner)
+    }
+}
+
 impl PortableProgram {
     /// Resolves every symbol of `p` against `interner`.
     pub fn from_program(p: &Program, interner: &Interner) -> PortableProgram {
@@ -144,6 +162,7 @@ impl PortableProgram {
             id: p.id.0,
             params: p.params.iter().map(|&s| interner.resolve(s).to_owned()).collect(),
             body: p_stmt(&p.body, interner),
+            prefilter: None,
         }
     }
 
@@ -183,10 +202,13 @@ impl PortableProgram {
                 PStmt::While(c, b) => bool_bytes(c) + stmt_bytes(b),
             }
         }
-        32 + self.params.iter().map(|p| p.len() + 8).sum::<usize>() + stmt_bytes(&self.body)
+        32 + self.params.iter().map(|p| p.len() + 8).sum::<usize>()
+            + stmt_bytes(&self.body)
+            + self.prefilter.as_ref().map_or(0, bool_bytes)
     }
 
-    /// Renders the single-line S-expression wire form.
+    /// Renders the single-line S-expression wire form. The pre-filter, when
+    /// present, is appended as an optional trailing `(prefilter …)` section.
     pub fn to_sexpr(&self) -> String {
         let mut out = String::new();
         let _ = write!(out, "(program {} (params", self.id);
@@ -196,6 +218,11 @@ impl PortableProgram {
         out.push(')');
         out.push(' ');
         w_stmt(&self.body, &mut out);
+        if let Some(pf) = &self.prefilter {
+            out.push_str(" (prefilter ");
+            w_bool(pf, &mut out);
+            out.push(')');
+        }
         out.push(')');
         out
     }
@@ -261,8 +288,9 @@ pub struct PortableAggPlan {
 /// but accessors stay total for defensive callers.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PortablePlan {
-    /// A consolidated program.
-    Program(PortableProgram),
+    /// A consolidated program (boxed: the inline struct dwarfs the `Agg`
+    /// variant, and cache entries hold these by the thousand).
+    Program(Box<PortableProgram>),
     /// A proved aggregation set.
     Agg(PortableAggPlan),
 }
@@ -354,11 +382,13 @@ impl PortableAggPlan {
                         id: d.id,
                         params: d.params.clone(),
                         body: d.fold.clone(),
+                        prefilter: None,
                     };
                     let merge = PortableProgram {
                         id: d.id,
                         params: Vec::new(),
                         body: d.merge.clone(),
+                        prefilter: None,
                     };
                     fold.approx_bytes()
                         + merge.approx_bytes()
@@ -803,7 +833,29 @@ fn parse_program(toks: &mut Toks) -> Result<PortableProgram, String> {
         }
     }
     let body = parse_stmt(toks)?;
-    finish(toks, PortableProgram { id, params, body })
+    // Optional trailing `(prefilter …)` section (absent in plans written
+    // before pushdown existed — those still parse).
+    let prefilter = match toks.as_slice().first() {
+        Some(Tok::Open) => {
+            let ph = head(toks)?;
+            if ph != "prefilter" {
+                return Err(format!("expected `prefilter`, found {ph:?}"));
+            }
+            let pf = parse_bool(toks)?;
+            expect_close(toks)?;
+            Some(pf)
+        }
+        _ => None,
+    };
+    finish(
+        toks,
+        PortableProgram {
+            id,
+            params,
+            body,
+            prefilter,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -858,11 +910,25 @@ mod tests {
             id: 9,
             params: vec!["a".to_owned(), "b".to_owned()],
             body,
+            prefilter: Some(PBool::Cmp(
+                CmpOp::Le,
+                PInt::Const(1),
+                PInt::Var("b".to_owned()),
+            )),
         };
         let wire = p.to_sexpr();
         assert!(!wire.contains('\n'));
         let q = PortableProgram::parse_sexpr(&wire).expect("wire form parses");
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn sexpr_without_prefilter_section_still_parses() {
+        // Plans snapshotted before pushdown existed carry no section.
+        let p = PortableProgram::parse_sexpr("(program 1 (params x) (notify 1 false))")
+            .expect("legacy wire form parses");
+        assert_eq!(p.prefilter, None);
+        assert!(!p.to_sexpr().contains("prefilter"));
     }
 
     #[test]

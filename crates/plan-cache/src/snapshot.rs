@@ -192,9 +192,9 @@ fn parse_payload(payload: &str) -> Result<CachedPlan, String> {
                 if plan.is_some() {
                     return Err("entry carries two plans".to_owned());
                 }
-                plan = Some(PortablePlan::Program(
+                plan = Some(PortablePlan::Program(Box::new(
                     PortableProgram::parse_sexpr(rest).map_err(|e| format!("bad program: {e}"))?,
-                ));
+                )));
             }
             "aggplan" => {
                 if plan.is_some() {
@@ -209,7 +209,7 @@ fn parse_payload(payload: &str) -> Result<CachedPlan, String> {
     }
     stats.tier = tier.ok_or("entry missing tier")?;
     match plan.ok_or("entry missing program")? {
-        PortablePlan::Program(p) => Ok(CachedPlan::new(p, stats)),
+        PortablePlan::Program(p) => Ok(CachedPlan::new(*p, stats)),
         PortablePlan::Agg(a) => Ok(CachedPlan::new_agg(a, stats)),
     }
 }
@@ -528,6 +528,11 @@ mod tests {
                     )),
                     Box::new(PStmt::Notify(4, true)),
                 ),
+                prefilter: Some(crate::portable::PBool::Cmp(
+                    udf_lang::ast::CmpOp::Le,
+                    PInt::Const(10),
+                    PInt::Var("price".to_owned()),
+                )),
             },
             stats,
         );
@@ -681,6 +686,7 @@ mod tests {
                         id,
                         params: vec!["x".to_owned()],
                         body: PStmt::Notify(id, true),
+                        prefilter: None,
                     },
                     ConsolidationStats::default(),
                 ),

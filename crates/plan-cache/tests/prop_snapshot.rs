@@ -105,8 +105,14 @@ fn program() -> impl Strategy<Value = PortableProgram> {
         any::<u32>(),
         prop::collection::vec(name(), 0..4),
         pstmt(3),
+        prop_oneof![Just(None), pbool().prop_map(Some)],
     )
-        .prop_map(|(id, params, body)| PortableProgram { id, params, body })
+        .prop_map(|(id, params, body, prefilter)| PortableProgram {
+            id,
+            params,
+            body,
+            prefilter,
+        })
 }
 
 fn stats() -> impl Strategy<Value = ConsolidationStats> {

@@ -3,7 +3,7 @@
 //! domain, 50 queries per family.
 //!
 //! ```text
-//! cargo run -p udf-bench --release --bin figure9 -- [domain|all] [--fast] [--queries N] [--seed S] [--metrics] [--guard] [--explain]
+//! cargo run -p udf-bench --release --bin figure9 -- [domain|all] [--fast] [--queries N] [--seed S] [--metrics] [--guard] [--explain] [--prefilter] [--backend B] [--json PATH]
 //! ```
 //!
 //! `--metrics` installs an in-memory [`udf_obs`] recorder shared by the Ω
@@ -27,6 +27,13 @@
 //! which entailment queries) as indented text and as JSON. See
 //! `OBSERVABILITY.md` for a walkthrough.
 //!
+//! `--prefilter` runs every (backend, domain, family) cell twice — pushdown
+//! off, then on — gates the two runs' output digests on bit-identity (a
+//! sound pre-filter must be unobservable), and appends a summary table of
+//! records skipped, selectivity, and the consolidated-total speedup the
+//! skip bought. Families whose candidates the verifier rejects (every
+//! query body reaches a library call) legitimately report zero skips.
+//!
 //! The paper reports UDF speedups of 2.6×–24.2× (avg 8.4×) and total
 //! speedups of 1.4×–23.1× (avg 6.0×), with consolidation averaging 0.3 s for
 //! 50 UDFs. We reproduce the shape: consolidation wins in every family, the
@@ -46,6 +53,7 @@ fn main() {
     let mut metrics = false;
     let mut guard = false;
     let mut explain = false;
+    let mut prefilter = false;
     let mut json: Option<String> = None;
     let mut backends = vec![ExecBackend::PerRecord];
     let mut it = args.iter();
@@ -55,6 +63,7 @@ fn main() {
             "--metrics" => metrics = true,
             "--guard" => guard = true,
             "--explain" => explain = true,
+            "--prefilter" => prefilter = true,
             "--json" => {
                 json = Some(it.next().expect("--json PATH").clone());
             }
@@ -120,22 +129,31 @@ fn main() {
     println!("(queries per family: {}, passes: {}, seed {seed})", scale.queries, scale.passes);
     println!("{}", header());
     let mut runs = Vec::new();
-    for &backend in &backends {
-        if backends.len() > 1 {
-            println!("-- backend: {}", backend.as_str());
+    // `--prefilter`: every cell runs twice, pushdown off then on, so the
+    // digest gate below can prove the pre-filter was unobservable.
+    let pf_passes: &[bool] = if prefilter { &[false, true] } else { &[false] };
+    for &pf in pf_passes {
+        opts.prefilter = pf;
+        if prefilter {
+            println!("-- prefilter: {}", if pf { "on" } else { "off" });
         }
-        for &d in &domains {
-            for r in udf_bench::run_domain_guarded(
-                d,
-                scale,
-                seed,
-                &opts,
-                guard_policy,
-                naiad_lite::RetryPolicy::default(),
-                backend,
-            ) {
-                println!("{}", format_row(&r));
-                runs.push(r);
+        for &backend in &backends {
+            if backends.len() > 1 {
+                println!("-- backend: {}", backend.as_str());
+            }
+            for &d in &domains {
+                for r in udf_bench::run_domain_guarded(
+                    d,
+                    scale,
+                    seed,
+                    &opts,
+                    guard_policy,
+                    naiad_lite::RetryPolicy::default(),
+                    backend,
+                ) {
+                    println!("{}", format_row(&r));
+                    runs.push(r);
+                }
             }
         }
     }
@@ -150,7 +168,7 @@ fn main() {
         for r in runs.iter().filter(|r| r.backend == ExecBackend::Columnar) {
             let Some(b) = base
                 .iter()
-                .find(|b| b.domain == r.domain && b.family == r.family)
+                .find(|b| b.domain == r.domain && b.family == r.family && b.prefilter == r.prefilter)
             else {
                 continue;
             };
@@ -165,6 +183,59 @@ fn main() {
         println!(
             "backend parity: {} cells compared, {diverged} divergences",
             base.len()
+        );
+        if diverged > 0 {
+            std::process::exit(1);
+        }
+    }
+    // `--prefilter`: soundness gate + summary. Every pushdown-on run must
+    // reproduce the pushdown-off digest bit-for-bit (Theorem: skipping only
+    // records the verifier proved notify-all-false is unobservable), and the
+    // summary shows what the skip bought where a candidate survived.
+    if prefilter {
+        let mut diverged = 0usize;
+        println!("---");
+        // The speedup column compares the *UDF phase* (per-record execution,
+        // the thing skipping accelerates) — consolidation and pre-filter
+        // synthesis are one-off costs amortized over the standing query's
+        // lifetime, reported in the main table's `consolid.` column.
+        println!(
+            "{:>8} {:>6} {:>11} {:>10} {:>9} {:>11} {:>11} {:>9}",
+            "domain", "family", "backend", "skipped", "select.", "off-udf(s)", "on-udf(s)", "udf-spdup"
+        );
+        let off: Vec<&udf_bench::FamilyRun> = runs.iter().filter(|r| !r.prefilter).collect();
+        for r in runs.iter().filter(|r| r.prefilter) {
+            let Some(b) = off.iter().find(|b| {
+                b.domain == r.domain && b.family == r.family && b.backend == r.backend
+            }) else {
+                continue;
+            };
+            if b.output_digest != r.output_digest {
+                diverged += 1;
+                eprintln!(
+                    "PREFILTER DIVERGENCE {}/{} ({}): off digest {:016x} != on digest {:016x}",
+                    r.domain,
+                    r.family,
+                    r.backend.as_str(),
+                    b.output_digest,
+                    r.output_digest
+                );
+            }
+            println!(
+                "{:>8} {:>6} {:>11} {:>10} {:>8.1}% {:>11.4} {:>11.4} {:>7.2}x",
+                r.domain,
+                r.family,
+                r.backend.as_str(),
+                r.prefilter_skipped,
+                r.prefilter_skip_rate() * 100.0,
+                b.cons_udf.as_secs_f64(),
+                r.cons_udf.as_secs_f64(),
+                b.cons_udf.as_secs_f64() / r.cons_udf.as_secs_f64().max(1e-9),
+            );
+        }
+        println!(
+            "prefilter parity: {} cells compared, {diverged} divergences",
+            off.len()
         );
         if diverged > 0 {
             std::process::exit(1);

@@ -96,7 +96,16 @@ pub struct FamilyRun {
     /// and missing totals of both modes, plus the quarantined record set).
     /// Two runs of the same cell under different backends must produce the
     /// same digest — the cross-backend divergence check in CI compares it.
+    /// A pre-filtered run must also reproduce the unfiltered digest (skips
+    /// only elide work the verifier proved observation-free).
     pub output_digest: u64,
+    /// Whether pre-filter synthesis was requested
+    /// ([`Options::prefilter`](consolidate::Options)).
+    pub prefilter: bool,
+    /// Records the synthesized pre-filter skipped across all consolidated
+    /// passes (0 when disabled, or when every candidate was rejected and
+    /// the run fell open to full evaluation).
+    pub prefilter_skipped: u64,
 }
 
 impl FamilyRun {
@@ -114,6 +123,12 @@ impl FamilyRun {
     /// `where_consolidated` UDF time, across all passes.
     pub fn records_per_sec(&self) -> f64 {
         self.scanned as f64 / self.cons_udf.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of scanned records the pre-filter skipped (its measured
+    /// selectivity complement — 0.0 when the pre-filter is off or rejected).
+    pub fn prefilter_skip_rate(&self) -> f64 {
+        self.prefilter_skipped as f64 / (self.scanned as f64).max(1.0)
     }
 }
 
@@ -239,9 +254,14 @@ pub fn run_family_guarded<E: UdfEnv>(
         QuerySet::compile_many(&programs, &cm, &|f| env.fn_cost(f)).expect("family compiles");
     let compile_many = t0.elapsed();
     let t0 = Instant::now();
-    let qs = qs
+    let mut qs = qs
         .with_consolidated(&merged.program, &cm, &|f| env.fn_cost(f), consolidation)
         .expect("merged program compiles");
+    if let Some(pf) = &merged.prefilter {
+        qs = qs
+            .with_prefilter(&pf.cond, &merged.program, &cm, &|f| env.fn_cost(f))
+            .expect("pre-filter guard compiles");
+    }
     let compile_cons = t0.elapsed();
 
     // Execute (each pass re-evaluates the whole collection). Quarantine
@@ -264,6 +284,7 @@ pub fn run_family_guarded<E: UdfEnv>(
     let mut guard_mismatches = 0u64;
     let mut guard_demotions = 0u64;
     let mut retries = 0u64;
+    let mut prefilter_skipped = 0u64;
     let mut first = None;
     for _ in 0..passes.max(1) {
         let many = engine
@@ -280,6 +301,7 @@ pub fn run_family_guarded<E: UdfEnv>(
             guard_demotions += u64::from(g.demoted);
         }
         retries += many.quarantine.retry_attempts + cons.quarantine.retry_attempts;
+        prefilter_skipped += cons.prefilter_skipped;
         // Parity must hold on the surviving records, so the two modes must
         // also have quarantined the same records.
         outputs_agree &= many.counts == cons.counts
@@ -333,6 +355,8 @@ pub fn run_family_guarded<E: UdfEnv>(
         retries,
         backend,
         output_digest,
+        prefilter: opts.prefilter,
+        prefilter_skipped,
     }
 }
 
@@ -508,7 +532,7 @@ pub fn run_domain_guarded(
 /// Formats a [`FamilyRun`] table row.
 pub fn format_row(r: &FamilyRun) -> String {
     format!(
-        "{:<8} {:<4} {:>4} {:>9} {:>10.2}x {:>10.2}x {:>12.3}s {:>8} {:>8} {:>7} {:>8} {:>6} {:>6} {:>7} {:>5} {:>5} {:>5}",
+        "{:<8} {:<4} {:>4} {:>9} {:>10.2}x {:>10.2}x {:>12.3}s {:>8} {:>8} {:>7} {:>8} {:>6} {:>6} {:>7} {:>5} {:>5} {:>5} {:>8}",
         r.domain,
         r.family,
         r.n_queries,
@@ -526,15 +550,16 @@ pub fn format_row(r: &FamilyRun) -> String {
         r.guard_mismatches,
         r.guard_demotions,
         r.retries,
+        r.prefilter_skipped,
     )
 }
 
 /// Table header matching [`format_row`].
 pub fn header() -> String {
     format!(
-        "{:<8} {:<4} {:>4} {:>9} {:>11} {:>11} {:>13} {:>8} {:>8} {:>7} {:>8} {:>6} {:>6} {:>7} {:>5} {:>5} {:>5}",
+        "{:<8} {:<4} {:>4} {:>9} {:>11} {:>11} {:>13} {:>8} {:>8} {:>7} {:>8} {:>6} {:>6} {:>7} {:>5} {:>5} {:>5} {:>8}",
         "domain", "fam", "n", "records", "udf-spdup", "tot-spdup", "consolid.", "agree", "size",
-        "tier", "smt-chk", "memo", "q'tine", "shadow", "g-mis", "demot", "retry"
+        "tier", "smt-chk", "memo", "q'tine", "shadow", "g-mis", "demot", "retry", "pf-skip"
     )
 }
 
@@ -558,7 +583,8 @@ pub fn family_runs_json(runs: &[FamilyRun]) -> String {
                 "\"cons_total_s\":{:.6},\"consolidation_s\":{:.6},\"udf_speedup\":{:.4},",
                 "\"total_speedup\":{:.4},\"merged_size\":{},\"source_size\":{},\"tier\":\"{}\",",
                 "\"smt_checks\":{},\"memo_hits\":{},\"outputs_agree\":{},\"quarantined\":{},",
-                "\"backend\":\"{}\",\"records_per_sec\":{:.1},\"output_digest\":\"{:016x}\"}}"
+                "\"backend\":\"{}\",\"records_per_sec\":{:.1},\"output_digest\":\"{:016x}\",",
+                "\"prefilter\":{},\"prefilter_skipped\":{},\"prefilter_skip_rate\":{:.4}}}"
             ),
             esc(&r.domain),
             esc(&r.family),
@@ -581,6 +607,9 @@ pub fn family_runs_json(runs: &[FamilyRun]) -> String {
             r.backend.as_str(),
             r.records_per_sec(),
             r.output_digest,
+            r.prefilter,
+            r.prefilter_skipped,
+            r.prefilter_skip_rate(),
         ));
     }
     out.push_str("\n]\n");

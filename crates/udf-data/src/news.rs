@@ -9,7 +9,10 @@
 //! * **Q1** — word containment, the word drawn from a 50-word list;
 //! * **Q2** — average word length above a threshold;
 //! * **Q3** — maximum word length above a threshold;
-//! * **BC** — boolean combinations of atoms from Q1–Q3.
+//! * **BC** — boolean combinations of atoms from Q1–Q3;
+//! * **PF** — long-article statistics: a cheap token-count guard *nests*
+//!   around the expensive text scan, the shape the cross-query pre-filter
+//!   synthesis exploits (most articles fail every guard and are skipped).
 
 use crate::util::{rng, Zipf};
 use crate::Family;
@@ -168,6 +171,28 @@ fn build_family(
     words: &Zipf,
     interner: &mut Interner,
 ) -> Program {
+    if fam == 4 {
+        // PF: a cheap necessary condition over the record's `tokens` field
+        // guards the expensive text statistic. The guard *nests* around the
+        // call instead of conjoining with it — connectives evaluate
+        // strictly, so only the nested form keeps the library call
+        // unreachable when the guard fails, which is exactly what the
+        // pre-filter verifier must prove before it may skip a record.
+        // "Long article" means the top decile: with tokens ∈ 50..600 the
+        // weakest guard (550) admits ~9% of articles, so the synthesized
+        // pre-filter skips the other ~91% — the selectivity regime the
+        // pushdown is built for.
+        let k = 550 + i64::from(id % 8) * 5; // 550..=585 over tokens ∈ 50..600
+        let t = r.gen_range(700..800);
+        let src = format!(
+            "program n_{fam}_{id} @{id} (tokens) {{
+                 if (tokens >= {k}) {{
+                     if (avgWordLen100() > {t}) {{ notify true; }} else {{ notify false; }}
+                 }} else {{ notify false; }}
+             }}"
+        );
+        return parse_program(&src, interner).expect("generated news query parses");
+    }
     let cond = if fam < 3 {
         atom(fam, r, words)
     } else {
@@ -205,6 +230,7 @@ pub fn families() -> Vec<Family> {
         Family { label: "Q2", build: |n, s, i| build_n(1, n, s, i) },
         Family { label: "Q3", build: |n, s, i| build_n(2, n, s, i) },
         Family { label: "BC", build: |n, s, i| build_n(3, n, s, i) },
+        Family { label: "PF", build: |n, s, i| build_n(4, n, s, i) },
     ]
 }
 

@@ -63,6 +63,11 @@ pub struct CostModel {
     /// `cost(merge)` — partial-state merge dispatch of a user-defined
     /// aggregation (charged once per merge on top of the body's own cost).
     pub merge: Cost,
+    /// `cost(prefilter)` — per-record dispatch of a synthesized pre-filter
+    /// (charged once, on top of the filter condition's own expression cost,
+    /// when a consolidated plan runs a sound pre-filter ahead of the merged
+    /// program).
+    pub prefilter: Cost,
 }
 
 impl Default for CostModel {
@@ -82,6 +87,7 @@ impl Default for CostModel {
             notify: 1,
             fold: 1,
             merge: 1,
+            prefilter: 1,
         }
     }
 }
@@ -94,8 +100,8 @@ impl CostModel {
     /// the model iterates this array instead of naming the fields, so adding
     /// a primitive updates every consumer in one place. Order is stable:
     /// `int_const, var, bool_const, not, connective, cmp, arith, assign,
-    /// branch, notify, fold, merge`.
-    pub fn components(&self) -> [Cost; 12] {
+    /// branch, notify, fold, merge, prefilter`.
+    pub fn components(&self) -> [Cost; 13] {
         [
             self.int_const,
             self.var,
@@ -109,6 +115,7 @@ impl CostModel {
             self.notify,
             self.fold,
             self.merge,
+            self.prefilter,
         ]
     }
 

@@ -146,6 +146,28 @@ pub const PLAN_CACHE_TAG_INVALIDATED: &str = "plan_cache.tag_invalidated";
 /// derived from was demoted or quarantined at runtime.
 pub const ENTAIL_MEMO_INVALIDATED: &str = "consolidate.entail.memo_invalidated";
 
+// ---- prefilter: cross-query predicate pushdown ----------------------------
+
+/// Counter: pre-filters synthesized, verified sound and attached to a plan.
+pub const PREFILTER_SYNTHESIZED: &str = "prefilter.synthesized";
+/// Counter: candidate pre-filters rejected by the verifier or the cost
+/// ceiling (fail-open: the plan runs unfiltered).
+pub const PREFILTER_REJECTED: &str = "prefilter.rejected";
+/// Counter: candidate extraction produced `true` — no cheap-field atom
+/// bounds any query, nothing to push down.
+pub const PREFILTER_TRIVIAL: &str = "prefilter.trivial";
+/// Histogram: symbolic paths of the merged program discharged by one
+/// successful verification.
+pub const PREFILTER_PATHS: &str = "prefilter.verify.paths";
+/// Histogram (ns): wall-clock latency of one synthesis attempt (candidate
+/// extraction plus verification, successful or not).
+pub const PREFILTER_NS: &str = "prefilter.synth_ns";
+/// Counter: records skipped by a verified pre-filter (the merged program
+/// never ran; all queries were notified `false` by construction).
+pub const PREFILTER_RECORDS_SKIPPED: &str = "prefilter.records.skipped";
+/// Counter: records that passed the pre-filter and ran the merged program.
+pub const PREFILTER_RECORDS_PASSED: &str = "prefilter.records.passed";
+
 // ---- user-defined aggregations --------------------------------------------
 
 /// Counter: per-record fold steps executed by the aggregation engine

@@ -273,6 +273,12 @@ pub struct Service<E: UdfEnv> {
     queue: IngestQueue<E::Rec>,
     epoch: u64,
     shared_qs: Option<QuerySet>,
+    /// Pre-filter synthesized for the *current* shared plan (see
+    /// [`consolidate::prefilter`]). Cleared on every churn — a condition
+    /// proved against yesterday's query set says nothing about today's —
+    /// and re-synthesized by [`Service::rebuild_shared`] when
+    /// `consolidation.prefilter` is on.
+    shared_prefilter: Option<consolidate::Prefilter>,
     qs_dirty: bool,
     counters: Accounting,
 }
@@ -299,6 +305,7 @@ impl<E: UdfEnv> Service<E> {
             queue,
             epoch: 0,
             shared_qs: None,
+            shared_prefilter: None,
             qs_dirty: false,
             counters: Accounting::default(),
         }
@@ -480,6 +487,9 @@ impl<E: UdfEnv> Service<E> {
         state.programs.push(program.clone());
         self.owner.insert(program.id.0, tenant);
         self.qs_dirty = true;
+        // The old pre-filter was proved against the previous query set;
+        // drop it now and let the next rebuild synthesize a fresh one.
+        self.shared_prefilter = None;
         self.store_plan_in_cache();
         Ok(outcome)
     }
@@ -514,6 +524,9 @@ impl<E: UdfEnv> Service<E> {
         }
         self.owner.remove(&query.0);
         self.qs_dirty = true;
+        // The old pre-filter was proved against the previous query set;
+        // drop it now and let the next rebuild synthesize a fresh one.
+        self.shared_prefilter = None;
         self.store_plan_in_cache();
         Ok(outcome)
     }
@@ -535,7 +548,16 @@ impl<E: UdfEnv> Service<E> {
             &self.cm,
             self.config.backend,
         );
-        let portable = PortableProgram::from_program(merged, &self.interner);
+        let mut portable = PortableProgram::from_program(merged, &self.interner);
+        // A freshly-rebuilt pre-filter rides along so cache consumers with
+        // the knob on rehydrate it; churn clears it before this runs, so a
+        // stale condition can never be stored against a changed query set.
+        if let Some(pf) = &self.shared_prefilter {
+            portable.prefilter = Some(plan_cache::portable::PBool::from_bool(
+                &pf.cond,
+                &self.interner,
+            ));
+        }
         let stats = consolidate::ConsolidationStats {
             tier: self.plan.tier(),
             ..consolidate::ConsolidationStats::default()
@@ -586,6 +608,9 @@ impl<E: UdfEnv> Service<E> {
         }
         self.config.recorder.add(names::SERVE_TENANT_DEMOTIONS, 1);
         self.qs_dirty = true;
+        // The old pre-filter was proved against the previous query set;
+        // drop it now and let the next rebuild synthesize a fresh one.
+        self.shared_prefilter = None;
         self.store_plan_in_cache();
         Ok(())
     }
@@ -609,7 +634,11 @@ impl<E: UdfEnv> Service<E> {
         })
     }
 
-    /// Rebuilds the shared query set from the plan when dirty.
+    /// Rebuilds the shared query set from the plan when dirty. When
+    /// `consolidation.prefilter` is on, a fresh pre-filter is synthesized
+    /// and verified against the *current* plan (churn invalidated the old
+    /// one) and the enriched plan is re-stored in the cache; a rejected
+    /// synthesis simply leaves the set unfiltered — fail-open.
     fn rebuild_shared(&mut self) -> Result<(), ServeError> {
         if !self.qs_dirty {
             return Ok(());
@@ -619,15 +648,39 @@ impl<E: UdfEnv> Service<E> {
         self.shared_qs = match (programs.is_empty(), merged) {
             (false, Some(merged)) => {
                 let fc = |f: Symbol| self.env.fn_cost(f);
-                Some(
-                    QuerySet::compile_many(&programs, &self.cm, &fc)?
-                        .with_consolidated(&merged, &self.cm, &fc, Duration::ZERO)?,
-                )
+                let mut qs = QuerySet::compile_many(&programs, &self.cm, &fc)?
+                    .with_consolidated(&merged, &self.cm, &fc, Duration::ZERO)?;
+                if self.config.consolidation.prefilter {
+                    self.shared_prefilter = consolidate::prefilter::synthesize(
+                        &programs,
+                        &merged,
+                        &self.interner,
+                        &self.cm,
+                        &EnvCost(&self.env),
+                        &self.config.consolidation,
+                    )
+                    .ok();
+                    if let Some(pf) = &self.shared_prefilter {
+                        qs = qs.with_prefilter(&pf.cond, &merged, &self.cm, &fc)?;
+                    }
+                }
+                Some(qs)
             }
             _ => None,
         };
         self.qs_dirty = false;
+        if self.shared_prefilter.is_some() {
+            self.store_plan_in_cache();
+        }
         Ok(())
+    }
+
+    /// The pre-filter protecting the current shared plan, if one survived
+    /// synthesis for the *rebuilt* query set (`None` while churn is pending
+    /// a rebuild, when the knob is off, or when every candidate was
+    /// rejected).
+    pub fn prefilter(&self) -> Option<&consolidate::Prefilter> {
+        self.shared_prefilter.as_ref()
     }
 
     /// Compiles one tenant's programs for solo (sequential) execution.

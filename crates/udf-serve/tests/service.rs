@@ -272,3 +272,66 @@ fn same_seed_runs_are_identical() {
     };
     assert_eq!(run(), run(), "same-seed service runs must be byte-identical");
 }
+
+/// A pushdown-friendly query: a cheap `v >= k` guard nests the library call,
+/// so the synthesized shared pre-filter is the disjunction of the guards.
+fn guarded_query(interner: &mut Interner, id: u32, k: i64, threshold: i64) -> Program {
+    udf_lang::parse::parse_program(
+        &format!(
+            "program g{id} @{id} (v) {{
+                 if (v >= {k}) {{
+                     p := half(v);
+                     if (p > {threshold}) {{ notify true; }} else {{ notify false; }}
+                 }} else {{ notify false; }}
+             }}"
+        ),
+        interner,
+    )
+    .expect("test program parses")
+}
+
+/// Churn must never leave a stale pre-filter attached: every register /
+/// deregister clears it immediately (before the changed plan is stored),
+/// and the next calm epoch re-synthesizes it for the *new* query set.
+#[test]
+fn prefilter_rebuilds_on_churn() {
+    let mut svc = service(
+        FaultPlan::none(),
+        ServeConfig {
+            consolidation: consolidate::Options {
+                prefilter: true,
+                ..consolidate::Options::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let t = TenantId(1);
+    for (id, k, th) in [(1u32, 10i64, 3i64), (2, 20, 4)] {
+        let q = guarded_query(svc.interner_mut(), id, k, th);
+        svc.register(t, &q).expect("registers");
+    }
+    assert!(svc.prefilter().is_none(), "nothing synthesized before an epoch");
+
+    let _ = svc.submit(batch(0..8));
+    svc.run_epoch().expect("epoch runs");
+    let cond1 = svc.prefilter().expect("epoch synthesized a pre-filter").cond.clone();
+
+    // Registering widens the reachable set; the stale filter would wrongly
+    // skip records only the new query selects, so it must drop at once.
+    let q3 = guarded_query(svc.interner_mut(), 3, 5, 1);
+    svc.register(t, &q3).expect("registers");
+    assert!(svc.prefilter().is_none(), "churn clears the stale pre-filter");
+    let _ = svc.submit(batch(8..16));
+    svc.run_epoch().expect("epoch runs");
+    let cond2 = svc.prefilter().expect("re-synthesized after register").cond.clone();
+    assert_ne!(cond1, cond2, "the new guard must widen the condition");
+
+    // Deregistering restores the original query set — and the rebuilt
+    // condition is bit-identical to the original synthesis.
+    svc.deregister(t, udf_lang::ast::ProgId(3)).expect("deregisters");
+    assert!(svc.prefilter().is_none(), "churn clears the stale pre-filter");
+    let _ = svc.submit(batch(16..24));
+    svc.run_epoch().expect("epoch runs");
+    let cond3 = svc.prefilter().expect("re-synthesized after deregister").cond.clone();
+    assert_eq!(cond1, cond3, "same query set, same condition");
+}

@@ -19,7 +19,8 @@ cd "$(dirname "$0")/.."
 SEEDS="${CHAOS_SEEDS:-0 1 7438951 18446744073709551615 305419896}"
 
 # Build once so per-seed runs are test-only.
-cargo test -q --no-run --test fault_matrix --test guard_matrix --test churn_matrix
+cargo test -q --no-run --test fault_matrix --test guard_matrix --test churn_matrix \
+    --test recovery_matrix
 
 for seed in $SEEDS; do
     echo "chaos: seed family $seed"
@@ -37,6 +38,20 @@ for seed in $SEEDS; do
     CHAOS_SEED="$seed" cargo test -q --test churn_matrix
 done
 
+# Crash-recovery phase: every simulated crash point (torn mid-append,
+# written-but-unsynced append, mid-checkpoint, checkpoint-synced-but-
+# unrenamed, renamed-but-journal-untruncated) × a spread of trigger
+# offsets, per seed family. tests/recovery_matrix.rs drops each crashed
+# service on the floor, recovers it from the write-ahead journal, finishes
+# the schedule, and asserts the recovered run is bit-identical to an
+# uncrashed reference — same epoch output digests, same final accounting,
+# same per-tenant state, with exact frame replay/skip/salvage accounting.
+# Any divergence fails the suite, which fails this phase.
+for seed in $SEEDS; do
+    echo "chaos: crash recovery, seed family $seed"
+    CHAOS_SEED="$seed" cargo test -q --test recovery_matrix
+done
+
 echo "chaos: determinism cross-check (two runs, same seed)"
 first=$(mktemp)
 second=$(mktemp)
@@ -47,6 +62,7 @@ trap 'rm -f "$first" "$second"' EXIT
 # single test still shows up as a failure or a diff.
 normalized_run() {
     CHAOS_SEED=7438951 cargo test -q --test fault_matrix --test guard_matrix --test churn_matrix \
+        --test recovery_matrix \
         -- --test-threads=1 2>&1 | sed 's/finished in [0-9.]*s//'
 }
 normalized_run >"$first"

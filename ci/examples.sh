@@ -10,7 +10,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 examples="quickstart weather_monitor flight_search scalability \
-failsoft warm_start guarded_execution prefiltered"
+failsoft warm_start guarded_execution prefiltered service_recovery"
 
 for ex in $examples; do
     [ -f "examples/$ex.rs" ] || { echo "missing examples/$ex.rs" >&2; exit 1; }

@@ -55,6 +55,7 @@
 pub mod agg;
 pub mod batch;
 pub mod compile;
+pub mod digest;
 pub mod engine;
 pub mod env;
 pub mod fastpred;

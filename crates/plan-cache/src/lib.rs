@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod framing;
 pub mod portable;
 mod snapshot;
 
@@ -49,6 +50,7 @@ use udf_lang::canon::Fnv128;
 use udf_lang::cost::{CostModel, FnCost};
 use udf_lang::intern::Interner;
 
+pub use framing::RecoveryIncident;
 pub use portable::{PortableAggDef, PortableAggPlan, PortablePlan, PortableProgram};
 pub use snapshot::SnapshotRecovery;
 

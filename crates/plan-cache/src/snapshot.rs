@@ -25,24 +25,18 @@
 //! Strict loading ([`load`]) still accepts the checksum-free **v1** format
 //! written by earlier releases; [`save`] always writes v2.
 
-use crate::{CacheConfig, CachedPlan, PlanCache, PlanKey, PortableAggPlan, PortableProgram};
+use crate::framing::{self, byte_line, RecoveryIncident};
 use crate::portable::PortablePlan;
+use crate::{CacheConfig, CachedPlan, PlanCache, PlanKey, PortableAggPlan, PortableProgram};
 use consolidate::{ConsolidationStats, DegradationTier};
-use std::io::{self, Write as _};
-use std::path::{Path, PathBuf};
+use std::io;
+use std::path::Path;
 
 const HEADER_V1: &str = "plan-cache-snapshot v1";
 const HEADER_V2: &str = "plan-cache-snapshot v2";
 
-/// FNV-1a 64 over a byte string — the per-entry payload checksum.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// Incident source tag for the shared [`RecoveryIncident`] shape.
+const SUBSYSTEM: &str = "plan-cache";
 
 fn stat_fields(s: &ConsolidationStats) -> Vec<(&'static str, u64)> {
     vec![
@@ -115,42 +109,18 @@ fn render_payload(plan: &CachedPlan) -> String {
     payload
 }
 
-/// Sibling temp path for the atomic write (same directory, so the final
-/// `rename` never crosses a filesystem).
-fn temp_path(path: &Path) -> PathBuf {
-    let mut os = path.as_os_str().to_owned();
-    os.push(format!(".tmp.{}", std::process::id()));
-    PathBuf::from(os)
-}
-
 pub(crate) fn save(cache: &PlanCache, path: &Path) -> io::Result<()> {
     let mut out = String::new();
     out.push_str(HEADER_V2);
     out.push('\n');
     for (key, plan) in cache.entries() {
         let payload = render_payload(&plan);
-        out.push_str(&format!(
-            "entry {key} {} {:016x}\n",
-            payload.len(),
-            fnv64(payload.as_bytes())
-        ));
-        out.push_str(&payload);
-        out.push_str("end\n");
+        out.push_str(&framing::render_frame("entry", &[key.to_string()], &payload));
     }
-    // Atomic publish: write the full snapshot to a sibling temp file, fsync,
-    // then rename over the target. Readers see either the old snapshot or
-    // the complete new one — never a half-written file — and an I/O error on
-    // any step leaves the target untouched.
-    let tmp = temp_path(path);
-    let write_all = || -> io::Result<()> {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(out.as_bytes())?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    };
-    write_all().inspect_err(|_| {
-        let _ = std::fs::remove_file(&tmp);
-    })
+    // Atomic publish (shared [`framing::atomic_write`] idiom): readers see
+    // either the old snapshot or the complete new one — never a half-written
+    // file — and an I/O error on any step leaves the target untouched.
+    framing::atomic_write(path, out.as_bytes())
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -228,8 +198,9 @@ pub struct SnapshotRecovery {
     pub loaded: usize,
     /// Entries skipped because they were corrupt or truncated.
     pub salvaged: usize,
-    /// One human-readable line per skipped entry (or rejected header).
-    pub incidents: Vec<String>,
+    /// One incident per skipped entry (or rejected header), in the
+    /// [`RecoveryIncident`] shape shared with the `udf-serve` journal.
+    pub incidents: Vec<RecoveryIncident>,
 }
 
 impl SnapshotRecovery {
@@ -239,47 +210,14 @@ impl SnapshotRecovery {
     }
 }
 
-/// Returns the line starting at `pos` (without its newline) and the offset
-/// just past it. Operates on raw bytes: corruption may have destroyed UTF-8
-/// validity, which must not abort a salvage pass.
-fn byte_line(bytes: &[u8], pos: usize) -> (&[u8], usize) {
-    let end = bytes[pos..]
-        .iter()
-        .position(|&b| b == b'\n')
-        .map_or(bytes.len(), |k| pos + k);
-    let next = if end < bytes.len() { end + 1 } else { end };
-    (&bytes[pos..end], next)
-}
-
-/// One recognized v2 entry header.
-struct EntryHeader {
-    key: u128,
-    len: usize,
-    crc: u64,
-}
-
-fn parse_entry_header(line: &[u8]) -> Result<EntryHeader, String> {
-    let text = std::str::from_utf8(line).map_err(|_| "entry header is not UTF-8".to_owned())?;
-    let mut words = text.split_ascii_whitespace();
-    if words.next() != Some("entry") {
-        return Err("not an entry header".to_owned());
+/// Parses one v2 entry header via the shared framing, extracting the key.
+fn parse_entry_header(line: &[u8]) -> Result<(u128, framing::FrameHeader), String> {
+    let header = framing::parse_frame_header(line, "entry")?;
+    if header.fields.len() != 1 {
+        return Err("entry header needs exactly one key field".to_owned());
     }
-    let key = words
-        .next()
-        .and_then(|w| u128::from_str_radix(w, 16).ok())
-        .ok_or("bad key hex")?;
-    let len: usize = words
-        .next()
-        .and_then(|w| w.parse().ok())
-        .ok_or("bad payload length")?;
-    let crc = words
-        .next()
-        .and_then(|w| u64::from_str_radix(w, 16).ok())
-        .ok_or("bad checksum hex")?;
-    if words.next().is_some() {
-        return Err("trailing tokens on entry header".to_owned());
-    }
-    Ok(EntryHeader { key, len, crc })
+    let key = u128::from_str_radix(&header.fields[0], 16).map_err(|_| "bad key hex".to_owned())?;
+    Ok((key, header))
 }
 
 /// The shared v2 parser. In lenient mode every malformed entry is skipped
@@ -307,7 +245,7 @@ fn parse_v2(bytes: &[u8], cache: &PlanCache) -> SnapshotRecovery {
             }
             Err((resume, msg)) => {
                 recovery.salvaged += 1;
-                recovery.incidents.push(msg);
+                recovery.incidents.push(RecoveryIncident::new(SUBSYSTEM, msg));
                 pos = resume;
             }
         }
@@ -325,43 +263,17 @@ fn verify_entry(
     payload_start: usize,
     cache: &PlanCache,
 ) -> Result<usize, (usize, String)> {
-    let header = parse_entry_header(line)
-        .map_err(|e| (payload_start, format!("entry skipped: {e}")))?;
-    let key_text = format!("{:032x}", header.key);
-    let payload_end = payload_start.saturating_add(header.len);
-    if payload_end > bytes.len() {
-        return Err((
-            payload_start,
-            format!("entry {key_text} skipped: payload truncated"),
-        ));
-    }
-    let payload = &bytes[payload_start..payload_end];
-    // The `end` terminator must follow immediately; its absence means the
-    // declared length itself is corrupt — rescan from the payload start so a
-    // shifted `entry ` header inside it can still be found.
-    let after = &bytes[payload_end..];
-    if !(after.starts_with(b"end\n") || after == b"end") {
-        return Err((
-            payload_start,
-            format!("entry {key_text} skipped: missing end terminator"),
-        ));
-    }
-    if fnv64(payload) != header.crc {
-        return Err((
-            payload_end,
-            format!("entry {key_text} skipped: checksum mismatch"),
-        ));
-    }
-    let payload = std::str::from_utf8(payload).map_err(|_| {
-        (
-            payload_end,
-            format!("entry {key_text} skipped: payload is not UTF-8"),
-        )
+    let (key, header) =
+        parse_entry_header(line).map_err(|e| (payload_start, format!("entry skipped: {e}")))?;
+    let key_text = format!("{key:032x}");
+    let (payload, resume) = framing::check_frame(bytes, &header, payload_start)
+        .map_err(|(resume, e)| (resume, format!("entry {key_text} skipped: {e}")))?;
+    let plan = parse_payload(payload).map_err(|e| {
+        let payload_end = payload_start + header.len;
+        (payload_end, format!("entry {key_text} skipped: {e}"))
     })?;
-    let plan = parse_payload(payload)
-        .map_err(|e| (payload_end, format!("entry {key_text} skipped: {e}")))?;
-    cache.insert(PlanKey(header.key), plan);
-    Ok(payload_end + after.len().min(4))
+    cache.insert(PlanKey(key), plan);
+    Ok(resume)
 }
 
 /// Strict legacy parser for the checksum-free v1 format.
@@ -436,7 +348,7 @@ pub(crate) fn load(path: &Path, config: CacheConfig) -> io::Result<PlanCache> {
             let recovery = parse_v2(&bytes, &cache);
             match recovery.incidents.first() {
                 None => Ok(cache),
-                Some(first) => Err(bad(first.clone())),
+                Some(first) => Err(bad(first.detail.clone())),
             }
         }
         h if h == HEADER_V1.as_bytes() => {
@@ -481,7 +393,10 @@ pub(crate) fn load_recovering(
                 Err(e) => Ok((
                     PlanCache::new(config),
                     SnapshotRecovery {
-                        incidents: vec![format!("v1 snapshot unreadable, starting cold: {e}")],
+                        incidents: vec![RecoveryIncident::new(
+                            SUBSYSTEM,
+                            format!("v1 snapshot unreadable, starting cold: {e}"),
+                        )],
                         ..SnapshotRecovery::default()
                     },
                 )),
@@ -490,7 +405,10 @@ pub(crate) fn load_recovering(
         _ => Ok((
             cache,
             SnapshotRecovery {
-                incidents: vec!["unrecognized snapshot header, starting cold".to_owned()],
+                incidents: vec![RecoveryIncident::new(
+                    SUBSYSTEM,
+                    "unrecognized snapshot header, starting cold",
+                )],
                 ..SnapshotRecovery::default()
             },
         )),
@@ -500,6 +418,7 @@ pub(crate) fn load_recovering(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framing::fnv64;
     use crate::portable::{PInt, PStmt};
 
     fn sample_cache() -> PlanCache {
@@ -709,7 +628,11 @@ mod tests {
             PlanCache::load_recovering(&path, CacheConfig::default(), &recorder).unwrap();
         assert_eq!((recovery.total, recovery.loaded, recovery.salvaged), (4, 3, 1));
         assert_eq!(loaded.len(), 3);
-        assert!(recovery.incidents[0].contains("checksum mismatch"), "{recovery:?}");
+        assert!(
+            recovery.incidents[0].detail.contains("checksum mismatch"),
+            "{recovery:?}"
+        );
+        assert_eq!(recovery.incidents[0].subsystem, "plan-cache");
         assert_eq!(
             recorder
                 .snapshot()

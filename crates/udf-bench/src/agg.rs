@@ -13,6 +13,7 @@
 
 use consolidate::homomorphism::AggProofStats;
 use consolidate::{DegradationTier, Options};
+use naiad_lite::digest::Fnv64;
 use naiad_lite::env::UdfEnv;
 use naiad_lite::{AggMode, AggQuerySet, AggReport, Engine, ErrorPolicy};
 use std::time::Duration;
@@ -391,23 +392,4 @@ pub fn agg_runs_json(runs: &[AggFamilyRun]) -> String {
     }
     out.push_str("\n]\n");
     out
-}
-
-/// FNV-1a, 64-bit (same constants as the filter-bench digest).
-struct Fnv64(u64);
-
-impl Fnv64 {
-    fn new() -> Fnv64 {
-        Fnv64(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
 }

@@ -24,6 +24,7 @@ pub use agg::{
 };
 
 use consolidate::Options;
+use naiad_lite::digest::Fnv64;
 use naiad_lite::engine::{Engine, ExecBackend, ExecMode, QuerySet};
 use naiad_lite::env::UdfEnv;
 use std::time::{Duration, Instant};
@@ -357,25 +358,6 @@ pub fn run_family_guarded<E: UdfEnv>(
         output_digest,
         prefilter: opts.prefilter,
         prefilter_skipped,
-    }
-}
-
-/// FNV-1a, 64-bit — the digest behind [`FamilyRun::output_digest`].
-struct Fnv64(u64);
-
-impl Fnv64 {
-    fn new() -> Fnv64 {
-        Fnv64(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 

@@ -209,3 +209,25 @@ pub const SERVE_DELTA_RECONSOLIDATIONS: &str = "serve.delta_reconsolidations";
 pub const SERVE_TENANT_DEMOTIONS: &str = "serve.tenant_demotions";
 /// Counter: epochs executed by the service loop.
 pub const SERVE_EPOCHS: &str = "serve.epochs";
+/// Counter: times a service was reconstructed from its journal via
+/// `Service::recover` (each successful recovery bumps this once).
+pub const SERVE_RECOVERIES: &str = "serve.recoveries";
+
+// ---- udf-serve: write-ahead epoch journal ---------------------------------
+
+/// Counter: frames appended to the write-ahead journal (one per durable
+/// state transition: register, deregister, submit, reject, epoch commit).
+pub const JOURNAL_APPENDS: &str = "journal.appends";
+/// Counter: checkpoint compactions (journal prefix folded into a full-state
+/// snapshot published via atomic tmp+fsync+rename).
+pub const JOURNAL_CHECKPOINTS: &str = "journal.checkpoints";
+/// Counter: journal frames replayed into service state during recovery.
+pub const JOURNAL_FRAMES_REPLAYED: &str = "journal.frames_replayed";
+/// Counter: journal frames skipped during recovery because the checkpoint
+/// already covered them (`seq <= checkpoint.last_seq`) — the exactly-once
+/// guard for a crash between checkpoint rename and journal truncation.
+pub const JOURNAL_FRAMES_SKIPPED: &str = "journal.frames_skipped";
+/// Counter: torn or corrupt tail frames salvaged (truncated away) during
+/// recovery. Anything beyond the first bad frame is unreachable by
+/// append-only writing, so salvage stops there.
+pub const JOURNAL_FRAMES_SALVAGED: &str = "journal.frames_salvaged";

@@ -106,6 +106,42 @@ impl<R> IngestQueue<R> {
         self.queued_records
     }
 
+    /// Next batch id to be assigned (checkpointed so recovery continues
+    /// the same id sequence).
+    pub fn next_batch(&self) -> u64 {
+        self.next_batch
+    }
+
+    /// Next global record sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Restores the id/sequence counters from a checkpoint.
+    pub fn set_counters(&mut self, next_batch: u64, next_seq: u64) {
+        self.next_batch = next_batch;
+        self.next_seq = next_seq;
+    }
+
+    /// The queued batches in admission order (for checkpointing).
+    pub fn batches(&self) -> impl Iterator<Item = &PendingBatch<R>> {
+        self.batches.iter()
+    }
+
+    /// The most recently admitted batch, if any still queued.
+    pub fn back(&self) -> Option<&PendingBatch<R>> {
+        self.batches.back()
+    }
+
+    /// Re-enqueues a batch exactly as recorded (recovery replay). Counters
+    /// advance so post-recovery admissions continue the same sequences.
+    pub fn restore_batch(&mut self, batch: PendingBatch<R>) {
+        self.queued_records += batch.records.len();
+        self.next_batch = self.next_batch.max(batch.id + 1);
+        self.next_seq = self.next_seq.max(batch.start_seq + batch.records.len() as u64);
+        self.batches.push_back(batch);
+    }
+
     /// Queue depth as a fraction of capacity, in `[0.0, ∞)` (a single batch
     /// larger than the whole capacity is rejected, so in practice ≤ 1.0).
     pub fn pressure(&self) -> f64 {

@@ -34,10 +34,12 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod admission;
+pub mod journal;
 pub mod service;
 pub mod tenant;
 
 pub use admission::{Admission, RejectReason, ShedBatch};
+pub use journal::{CrashPoint, JournalError, JournalRec, RecoveryReport, SimCrash};
 pub use service::{
     Accounting, EpochMode, EpochReport, ServeConfig, ServeError, Service, ServiceStatus,
     TenantEpochReport,

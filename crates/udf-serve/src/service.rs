@@ -1,7 +1,8 @@
 //! The service runtime: epochs, admission, the live delta-consolidated
 //! plan, and tenant-granular failure isolation.
 
-use crate::admission::{Admission, IngestQueue, ShedBatch};
+use crate::admission::{Admission, IngestQueue, PendingBatch, ShedBatch};
+use crate::journal::{self, Journal, JournalError, JournalRec, RecoveryReport, SimCrash};
 use crate::tenant::{ChurnOp, ChurnOutcome, TenantId, TenantState};
 use consolidate::{DegradationTier, DeltaError};
 use naiad_lite::engine::{
@@ -12,6 +13,8 @@ use naiad_lite::UdfEnv;
 use plan_cache::{CachedPlan, PlanCache, PlanKey, PortableProgram};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 use udf_lang::analysis::notify_ids;
@@ -75,6 +78,15 @@ pub struct ServeConfig {
     /// Metrics sink for the `serve.*` counters (and, shared with
     /// `consolidation.recorder`, the whole stack's).
     pub recorder: udf_obs::RecorderCell,
+    /// Journal frames appended between checkpoint compactions (journaled
+    /// services only; see [`Service::open`]). After this many frames the
+    /// next epoch commit folds the journal into a full-state checkpoint.
+    pub journal_checkpoint_every: u64,
+    /// Armed simulated crash for chaos testing (journaled services only).
+    /// When the chosen [`crate::CrashPoint`] fires, the journal performs
+    /// the partial write a real crash could leave and the service poisons
+    /// itself; recover from the directory to continue.
+    pub sim_crash: Option<SimCrash>,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +105,8 @@ impl Default for ServeConfig {
             workers: 1,
             backend: naiad_lite::engine::ExecBackend::default(),
             recorder: udf_obs::RecorderCell::noop(),
+            journal_checkpoint_every: 64,
+            sim_crash: None,
         }
     }
 }
@@ -120,6 +134,17 @@ pub enum ServeError {
     Compile(String),
     /// The engine failed in a way the quarantine policy cannot absorb.
     Engine(String),
+    /// The zero-silent-drop invariant `admitted == processed + shed +
+    /// queued` broke — checked (in release builds too) before every epoch
+    /// commit, because a service that silently miscounts is exactly the
+    /// failure durability must not journal as truth.
+    AccountingDrift(Accounting),
+    /// The durability layer failed (I/O, corruption, or a simulated
+    /// crash); the service is poisoned.
+    Journal(JournalError),
+    /// A call on a service already poisoned by a journal failure. Treat
+    /// the in-memory instance as dead and [`Service::recover`] from disk.
+    Poisoned,
 }
 
 impl fmt::Display for ServeError {
@@ -138,6 +163,15 @@ impl fmt::Display for ServeError {
             ServeError::Delta(e) => write!(f, "delta consolidation: {e}"),
             ServeError::Compile(e) => write!(f, "compile: {e}"),
             ServeError::Engine(e) => write!(f, "engine: {e}"),
+            ServeError::AccountingDrift(a) => write!(
+                f,
+                "accounting drift: admitted {} != processed {} + shed {} + queued {}",
+                a.admitted, a.processed, a.shed, a.queued
+            ),
+            ServeError::Journal(e) => write!(f, "{e}"),
+            ServeError::Poisoned => {
+                write!(f, "service poisoned by an earlier journal failure; recover from disk")
+            }
         }
     }
 }
@@ -153,6 +187,12 @@ impl From<DeltaError> for ServeError {
 impl From<naiad_lite::CompileError> for ServeError {
     fn from(e: naiad_lite::CompileError) -> ServeError {
         ServeError::Compile(e.to_string())
+    }
+}
+
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> ServeError {
+        ServeError::Journal(e)
     }
 }
 
@@ -209,6 +249,11 @@ pub struct EpochReport {
     pub queued_after: usize,
     /// Tier of the shared plan after the epoch.
     pub plan_tier: DegradationTier,
+    /// FNV-64 digest of the epoch's observable effects (mode, per-tenant
+    /// counts and quarantined sequences, demotions, shed batches). The
+    /// journal stamps this into the commit frame; the chaos CI diffs a
+    /// recovered run's digests against the uncrashed reference.
+    pub output_digest: u64,
 }
 
 /// Monotone service-lifetime record accounting. The zero-silent-drop
@@ -281,6 +326,20 @@ pub struct Service<E: UdfEnv> {
     shared_prefilter: Option<consolidate::Prefilter>,
     qs_dirty: bool,
     counters: Accounting,
+    /// Full add/remove history of the shared plan. [`consolidate::DeltaPlan`]'s
+    /// tree shape (free-slot reuse, grow relabeling, rename counters) is a
+    /// function of the whole history, not the surviving membership — so
+    /// checkpoints persist this history and recovery replays it to rebuild
+    /// a bit-identical plan.
+    plan_ops: Vec<PlanOp>,
+    journal: Option<Journal<E::Rec>>,
+    poisoned: bool,
+}
+
+/// One plan-surgery operation, kept for bit-identical plan rebuild.
+enum PlanOp {
+    Add(Program),
+    Remove(ProgId),
 }
 
 impl<E: UdfEnv> fmt::Debug for Service<E> {
@@ -308,7 +367,111 @@ impl<E: UdfEnv> Service<E> {
             shared_prefilter: None,
             qs_dirty: false,
             counters: Accounting::default(),
+            plan_ops: Vec::new(),
+            journal: None,
+            poisoned: false,
         }
+    }
+
+    /// Creates a *journaled* service whose durable state lives in `dir`:
+    /// every state transition appends a write-ahead frame before the call
+    /// returns, and epoch commits periodically fold the journal into a
+    /// checkpoint (see [`ServeConfig::journal_checkpoint_every`]). The
+    /// directory must not already hold durable state — restart an existing
+    /// service with [`Service::recover`] instead.
+    ///
+    /// `interner` must be the interner the environment's function library
+    /// was built against (the same one [`Service::interner_mut`] would
+    /// hand out) — recovery parses checkpointed programs into it, so
+    /// library symbols must already resolve.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] when the directory already has a journal or
+    /// checkpoint, or on I/O failure creating the journal.
+    pub fn open(
+        env: E,
+        interner: Interner,
+        config: ServeConfig,
+        dir: &Path,
+    ) -> Result<Service<E>, ServeError>
+    where
+        E::Rec: JournalRec,
+    {
+        let sim = config.sim_crash;
+        let recorder = config.recorder.clone();
+        let mut svc = Service::new(env, config);
+        svc.interner = interner;
+        svc.journal = Some(Journal::create(dir, sim, recorder)?);
+        Ok(svc)
+    }
+
+    /// Rebuilds a journaled service from `dir`: orphan temp files are
+    /// removed, the checkpoint (if any) is restored, the journal tail is
+    /// replayed with exactly-once semantics (frames the checkpoint already
+    /// covers are skipped), a torn tail is truncated and reported, and a
+    /// fresh checkpoint is published so the recovered state is durable
+    /// before the first new operation. The result is bit-identical to the
+    /// uncrashed service: same tenants, queue, pending churn, accounting,
+    /// plan shape, and next-epoch behavior.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] on I/O failure or when an atomically
+    /// published artifact (checkpoint, journal header) is corrupt — torn
+    /// *tails* are salvaged, but rot in state that was durably acknowledged
+    /// must not be guessed around.
+    pub fn recover(
+        env: E,
+        interner: Interner,
+        config: ServeConfig,
+        dir: &Path,
+    ) -> Result<(Service<E>, RecoveryReport), ServeError>
+    where
+        E::Rec: JournalRec,
+    {
+        journal::clean_orphan_temps(dir)
+            .map_err(|e| JournalError::Io(e.to_string()))?;
+        let sim = config.sim_crash;
+        let recorder = config.recorder.clone();
+        let mut svc = Service::new(env, config);
+        svc.interner = interner;
+        let mut report = RecoveryReport::default();
+        let mut next_seq = 0u64;
+        if let Some(ckpt) = journal::load_checkpoint(dir)? {
+            next_seq = ckpt.next_seq;
+            svc.restore_checkpoint(&ckpt.payload)
+                .map_err(|e| JournalError::Corrupt(format!("checkpoint: {e}")))?;
+        }
+        let loaded = journal::load_journal(dir)?;
+        report.frames_salvaged = loaded.salvaged;
+        report.truncated_tail = loaded.truncated_tail;
+        report.incidents = loaded.incidents;
+        for frame in &loaded.frames {
+            if frame.seq < next_seq {
+                report.frames_skipped += 1;
+                continue;
+            }
+            if frame.seq != next_seq {
+                return Err(ServeError::Journal(JournalError::Corrupt(format!(
+                    "frame seq {} leaves a gap (expected {next_seq})",
+                    frame.seq
+                ))));
+            }
+            svc.replay_frame(frame, &mut report)
+                .map_err(|e| JournalError::Corrupt(format!("frame {}: {e}", frame.seq)))?;
+            next_seq = frame.seq + 1;
+            report.frames_replayed += 1;
+        }
+        svc.journal = Some(Journal::resume(dir, next_seq, sim, recorder.clone())?);
+        // Publish the recovered state before accepting new work: the torn
+        // tail is folded away and a second crash re-recovers from here.
+        svc.checkpoint()?;
+        recorder.add(names::SERVE_RECOVERIES, 1);
+        recorder.add(names::JOURNAL_FRAMES_REPLAYED, report.frames_replayed);
+        recorder.add(names::JOURNAL_FRAMES_SKIPPED, report.frames_skipped);
+        recorder.add(names::JOURNAL_FRAMES_SALVAGED, report.frames_salvaged);
+        Ok((svc, report))
     }
 
     /// The interner programs submitted to this service must be parsed with.
@@ -354,8 +517,17 @@ impl<E: UdfEnv> Service<E> {
 
     /// Offers a record batch to the bounded ingest queue. An
     /// [`Admission::Rejected`] batch never enters the service — the caller
-    /// keeps the records and the decision is explicit.
-    pub fn submit(&mut self, records: Vec<E::Rec>) -> Admission {
+    /// keeps the records and the decision is explicit. On a journaled
+    /// service the admission decision (batch contents included) is durable
+    /// before this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] when the write-ahead append fails (the
+    /// service is then poisoned); [`ServeError::Poisoned`] thereafter.
+    /// Non-journaled services never error.
+    pub fn submit(&mut self, records: Vec<E::Rec>) -> Result<Admission, ServeError> {
+        self.check_poisoned()?;
         let n = records.len() as u64;
         let admission = self.queue.offer(records, self.epoch);
         match &admission {
@@ -368,7 +540,28 @@ impl<E: UdfEnv> Service<E> {
                 self.config.recorder.add(names::SERVE_REJECTED, n);
             }
         }
-        admission
+        if let Some(j) = &self.journal {
+            let enc = j.encode;
+            let (kind, payload) = match &admission {
+                Admission::Admitted { .. } => {
+                    let b = self.queue.back().expect("batch was just admitted");
+                    let mut p = format!(
+                        "batch {} epoch {} seq {} n {}\n",
+                        b.id,
+                        b.submitted_epoch,
+                        b.start_seq,
+                        b.records.len()
+                    );
+                    for r in &b.records {
+                        let _ = writeln!(p, "rec {}", enc(r));
+                    }
+                    ("sub", p)
+                }
+                Admission::Rejected { .. } => ("rej", format!("n {n}\n")),
+            };
+            self.journal_append(kind, &payload)?;
+        }
+        Ok(admission)
     }
 
     /// Registers one query for `tenant` (created on first use). Under calm
@@ -388,6 +581,7 @@ impl<E: UdfEnv> Service<E> {
         tenant: TenantId,
         program: &Program,
     ) -> Result<ChurnOutcome, ServeError> {
+        self.check_poisoned()?;
         if self.owner.contains_key(&program.id.0) || self.pending_register(program.id).is_some() {
             return Err(ServeError::DuplicateQuery(program.id));
         }
@@ -399,14 +593,22 @@ impl<E: UdfEnv> Service<E> {
         // not inside a later epoch.
         let fc = |f: Symbol| self.env.fn_cost(f);
         QuerySet::compile_many(std::slice::from_ref(program), &self.cm, &fc)?;
-        if self.queue.pressure() >= self.config.degrade_watermark {
+        let outcome = if self.queue.pressure() >= self.config.degrade_watermark {
             self.pending_churn.push_back(ChurnOp::Register {
                 tenant,
                 program: program.clone(),
             });
-            return Ok(ChurnOutcome::Deferred);
+            ChurnOutcome::Deferred
+        } else {
+            self.apply_register(tenant, program)?
+        };
+        if self.journal.is_some() {
+            let sexpr = PortableProgram::from_program(program, &self.interner).to_sexpr();
+            let payload =
+                format!("tenant {} outcome {}\n{sexpr}\n", tenant.0, churn_tag(&outcome));
+            self.journal_append("reg", &payload)?;
         }
-        self.apply_register(tenant, program)
+        Ok(outcome)
     }
 
     /// Deregisters one of `tenant`'s queries. Calm epochs apply the removal
@@ -422,33 +624,46 @@ impl<E: UdfEnv> Service<E> {
         tenant: TenantId,
         query: ProgId,
     ) -> Result<ChurnOutcome, ServeError> {
-        match self.owner.get(&query.0) {
-            None => {
-                // A still-deferred registration can be withdrawn before it
-                // ever reaches the plan.
-                let Some(at) = self.pending_register(query) else {
-                    return Err(ServeError::UnknownQuery(query));
-                };
-                match &self.pending_churn[at] {
-                    ChurnOp::Register { tenant: t, .. } if *t != tenant => {
-                        return Err(ServeError::NotOwner { tenant, query });
+        self.check_poisoned()?;
+        let outcome = 'outcome: {
+            match self.owner.get(&query.0) {
+                None => {
+                    // A still-deferred registration can be withdrawn before
+                    // it ever reaches the plan.
+                    let Some(at) = self.pending_register(query) else {
+                        return Err(ServeError::UnknownQuery(query));
+                    };
+                    match &self.pending_churn[at] {
+                        ChurnOp::Register { tenant: t, .. } if *t != tenant => {
+                            return Err(ServeError::NotOwner { tenant, query });
+                        }
+                        _ => {}
                     }
-                    _ => {}
+                    self.pending_churn.remove(at);
+                    break 'outcome ChurnOutcome::Cancelled;
                 }
-                self.pending_churn.remove(at);
-                return Ok(ChurnOutcome::Cancelled);
+                Some(t) if *t != tenant => {
+                    return Err(ServeError::NotOwner { tenant, query });
+                }
+                Some(_) => {}
             }
-            Some(t) if *t != tenant => {
-                return Err(ServeError::NotOwner { tenant, query });
+            if self.queue.pressure() >= self.config.degrade_watermark {
+                self.pending_churn
+                    .push_back(ChurnOp::Deregister { tenant, query });
+                break 'outcome ChurnOutcome::Deferred;
             }
-            Some(_) => {}
+            self.apply_deregister(tenant, query)?
+        };
+        if self.journal.is_some() {
+            let payload = format!(
+                "tenant {} query {} outcome {}\n",
+                tenant.0,
+                query.0,
+                churn_tag(&outcome)
+            );
+            self.journal_append("dereg", &payload)?;
         }
-        if self.queue.pressure() >= self.config.degrade_watermark {
-            self.pending_churn
-                .push_back(ChurnOp::Deregister { tenant, query });
-            return Ok(ChurnOutcome::Deferred);
-        }
-        self.apply_deregister(tenant, query)
+        Ok(outcome)
     }
 
     /// Position of a still-pending registration of `query`, if any.
@@ -481,6 +696,7 @@ impl<E: UdfEnv> Service<E> {
                     &self.config.consolidation,
                 )?;
             self.config.recorder.add(names::SERVE_DELTA_RECONSOLIDATIONS, 1);
+            self.plan_ops.push(PlanOp::Add(program.clone()));
             ChurnOutcome::Applied(Box::new(report))
         };
         let state = self.tenants.entry(tenant).or_insert_with(TenantState::new);
@@ -515,6 +731,7 @@ impl<E: UdfEnv> Service<E> {
                 &self.config.consolidation,
             )?;
             self.config.recorder.add(names::SERVE_DELTA_RECONSOLIDATIONS, 1);
+            self.plan_ops.push(PlanOp::Remove(query));
             ChurnOutcome::Applied(Box::new(report))
         } else {
             ChurnOutcome::AppliedSolo
@@ -591,6 +808,7 @@ impl<E: UdfEnv> Service<E> {
                     &self.config.consolidation,
                 )?;
                 self.config.recorder.add(names::SERVE_DELTA_RECONSOLIDATIONS, 1);
+                self.plan_ops.push(PlanOp::Remove(id));
             }
             memo_dropped += self.plan.memo().invalidate_query(id.0);
         }
@@ -823,6 +1041,7 @@ impl<E: UdfEnv> Service<E> {
     /// trips are absorbed (quarantine accounting, tenant demotion) rather
     /// than erroring.
     pub fn run_epoch(&mut self) -> Result<EpochReport, ServeError> {
+        self.check_poisoned()?;
         self.epoch += 1;
         self.config.recorder.add(names::SERVE_EPOCHS, 1);
         let pressure = self.queue.pressure();
@@ -838,6 +1057,7 @@ impl<E: UdfEnv> Service<E> {
             tenants: BTreeMap::new(),
             queued_after: 0,
             plan_tier: self.plan.tier(),
+            output_digest: 0,
         };
         if pressure < self.config.degrade_watermark {
             while let Some(op) = self.pending_churn.pop_front() {
@@ -883,7 +1103,7 @@ impl<E: UdfEnv> Service<E> {
         if records.is_empty() {
             report.queued_after = self.queue.queued_records();
             report.plan_tier = self.plan.tier();
-            debug_assert!(self.accounting().balanced());
+            self.commit_epoch(&mut report)?;
             return Ok(report);
         }
         // Seed every owning tenant's report with zeroed counts so the shape
@@ -1011,11 +1231,583 @@ impl<E: UdfEnv> Service<E> {
             .add(names::SERVE_PROCESSED, records.len() as u64);
         report.queued_after = self.queue.queued_records();
         report.plan_tier = self.plan.tier();
-        debug_assert!(
-            self.accounting().balanced(),
-            "zero-silent-drop invariant violated: {:?}",
-            self.accounting()
-        );
+        self.commit_epoch(&mut report)?;
         Ok(report)
     }
+
+    /// Seals one epoch: stamp the output digest, enforce the
+    /// zero-silent-drop invariant (in release builds too — drift must
+    /// never be journaled as truth), append the commit frame, and compact
+    /// the journal when due.
+    fn commit_epoch(&mut self, report: &mut EpochReport) -> Result<(), ServeError> {
+        report.output_digest = epoch_digest(report);
+        let acc = self.accounting();
+        if !acc.balanced() {
+            return Err(ServeError::AccountingDrift(acc));
+        }
+        if self.journal.is_some() {
+            let mut payload = format!(
+                "epoch {} mode {} processed {} applied {} errors {} digest {:016x}\n",
+                report.epoch,
+                mode_tag(report.mode),
+                report.processed,
+                report.applied_churn,
+                report.churn_errors.len(),
+                report.output_digest
+            );
+            for t in &report.demoted {
+                let _ = writeln!(payload, "demote {}", t.0);
+            }
+            for (t, rep) in &report.tenants {
+                if !rep.quarantined.is_empty() {
+                    let _ = writeln!(payload, "tq {} {}", t.0, rep.quarantined.len());
+                }
+            }
+            self.journal_append("epoch", &payload)?;
+            let due = self
+                .journal
+                .as_ref()
+                .is_some_and(|j| j.appends_since_checkpoint() >= self.config.journal_checkpoint_every);
+            if due {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fails every call once the journal has failed: the in-memory state
+    /// may be ahead of the durable state, so the instance must be treated
+    /// as dead and rebuilt with [`Service::recover`].
+    fn check_poisoned(&self) -> Result<(), ServeError> {
+        if self.poisoned {
+            Err(ServeError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn journal_append(&mut self, kind: &str, payload: &str) -> Result<(), ServeError> {
+        let Some(j) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        match j.append(kind, payload) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.poisoned = true;
+                Err(ServeError::Journal(e))
+            }
+        }
+    }
+
+    /// Forces a checkpoint compaction now (journaled services only): the
+    /// full service state is published atomically and the journal is
+    /// truncated back to its header.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] on failure; the service is then poisoned.
+    pub fn checkpoint(&mut self) -> Result<(), ServeError> {
+        self.check_poisoned()?;
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let payload = self.checkpoint_payload();
+        let Some(j) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        match j.checkpoint(&payload) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = true;
+                Err(ServeError::Journal(e))
+            }
+        }
+    }
+
+    /// Sequence number the next journal frame will carry — the count of
+    /// durably acknowledged frames (monotone across truncations), or
+    /// `None` for non-journaled services. Chaos harnesses use this to
+    /// probe whether a crashed operation's frame landed.
+    pub fn journal_seq(&self) -> Option<u64> {
+        self.journal.as_ref().map(Journal::next_seq)
+    }
+
+    /// Whether a journal failure has poisoned this instance.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Renders the full-state checkpoint payload: epoch, counters, queue
+    /// contents, tenants (programs in portable s-expression form), pending
+    /// churn, and the complete plan-op history.
+    fn checkpoint_payload(&self) -> String {
+        let enc = self.journal.as_ref().expect("journaled").encode;
+        let mut p = String::new();
+        let _ = writeln!(p, "epoch {}", self.epoch);
+        let _ = writeln!(
+            p,
+            "counters {} {} {} {}",
+            self.counters.admitted, self.counters.rejected, self.counters.shed,
+            self.counters.processed
+        );
+        let _ = writeln!(p, "queue {} {}", self.queue.next_batch(), self.queue.next_seq());
+        for b in self.queue.batches() {
+            let _ = writeln!(
+                p,
+                "batch {} {} {} {}",
+                b.id,
+                b.submitted_epoch,
+                b.start_seq,
+                b.records.len()
+            );
+            for r in &b.records {
+                let _ = writeln!(p, "rec {}", enc(r));
+            }
+        }
+        for (id, st) in &self.tenants {
+            let _ = writeln!(
+                p,
+                "tenant {} {} {} {}",
+                id.0,
+                u8::from(st.demoted),
+                st.quarantined_records,
+                st.programs.len()
+            );
+            for prog in &st.programs {
+                let _ = writeln!(
+                    p,
+                    "prog {}",
+                    PortableProgram::from_program(prog, &self.interner).to_sexpr()
+                );
+            }
+        }
+        for op in &self.pending_churn {
+            match op {
+                ChurnOp::Register { tenant, program } => {
+                    let _ = writeln!(
+                        p,
+                        "pend reg {} {}",
+                        tenant.0,
+                        PortableProgram::from_program(program, &self.interner).to_sexpr()
+                    );
+                }
+                ChurnOp::Deregister { tenant, query } => {
+                    let _ = writeln!(p, "pend dereg {} {}", tenant.0, query.0);
+                }
+            }
+        }
+        for op in &self.plan_ops {
+            match op {
+                PlanOp::Add(prog) => {
+                    let _ = writeln!(
+                        p,
+                        "pop add {}",
+                        PortableProgram::from_program(prog, &self.interner).to_sexpr()
+                    );
+                }
+                PlanOp::Remove(id) => {
+                    let _ = writeln!(p, "pop rem {}", id.0);
+                }
+            }
+        }
+        p
+    }
+
+    /// Restores checkpointed state into a fresh service (inverse of
+    /// [`Service::checkpoint_payload`]). Plan-op history is replayed
+    /// through real delta operations so the rebuilt tree is bit-identical.
+    fn restore_checkpoint(&mut self, payload: &str) -> Result<(), String>
+    where
+        E::Rec: JournalRec,
+    {
+        let mut lines = payload.lines().peekable();
+        while let Some(line) = lines.next() {
+            let mut words = line.split_ascii_whitespace();
+            match words.next() {
+                Some("epoch") => {
+                    self.epoch = parse_field(words.next(), "epoch")?;
+                }
+                Some("counters") => {
+                    self.counters.admitted = parse_field(words.next(), "admitted")?;
+                    self.counters.rejected = parse_field(words.next(), "rejected")?;
+                    self.counters.shed = parse_field(words.next(), "shed")?;
+                    self.counters.processed = parse_field(words.next(), "processed")?;
+                }
+                Some("queue") => {
+                    let next_batch = parse_field(words.next(), "next_batch")?;
+                    let next_seq = parse_field(words.next(), "next_seq")?;
+                    self.queue.set_counters(next_batch, next_seq);
+                }
+                Some("batch") => {
+                    let id = parse_field(words.next(), "batch id")?;
+                    let submitted_epoch = parse_field(words.next(), "batch epoch")?;
+                    let start_seq = parse_field(words.next(), "batch seq")?;
+                    let n: usize = parse_field(words.next(), "batch n")?;
+                    let mut records = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let rec_line = lines.next().ok_or("batch records truncated")?;
+                        records.push(parse_rec::<E::Rec>(rec_line)?);
+                    }
+                    self.queue.restore_batch(PendingBatch {
+                        id,
+                        submitted_epoch,
+                        start_seq,
+                        records,
+                    });
+                }
+                Some("tenant") => {
+                    let id: u32 = parse_field(words.next(), "tenant id")?;
+                    let demoted: u8 = parse_field(words.next(), "tenant demoted")?;
+                    let quarantined: u64 = parse_field(words.next(), "tenant tq")?;
+                    let nprogs: usize = parse_field(words.next(), "tenant nprogs")?;
+                    let mut programs = Vec::with_capacity(nprogs);
+                    for _ in 0..nprogs {
+                        let prog_line = lines.next().ok_or("tenant programs truncated")?;
+                        let src = prog_line
+                            .strip_prefix("prog ")
+                            .ok_or("expected prog line")?;
+                        let prog =
+                            PortableProgram::parse_sexpr(src)?.to_program(&mut self.interner);
+                        self.owner.insert(prog.id.0, TenantId(id));
+                        programs.push(prog);
+                    }
+                    self.tenants.insert(
+                        TenantId(id),
+                        TenantState {
+                            programs,
+                            demoted: demoted != 0,
+                            quarantined_records: quarantined,
+                        },
+                    );
+                }
+                Some("pend") => match words.next() {
+                    Some("reg") => {
+                        let tenant: u32 = parse_field(words.next(), "pend tenant")?;
+                        let src = words.collect::<Vec<_>>().join(" ");
+                        let program =
+                            PortableProgram::parse_sexpr(&src)?.to_program(&mut self.interner);
+                        self.pending_churn.push_back(ChurnOp::Register {
+                            tenant: TenantId(tenant),
+                            program,
+                        });
+                    }
+                    Some("dereg") => {
+                        let tenant: u32 = parse_field(words.next(), "pend tenant")?;
+                        let query: u32 = parse_field(words.next(), "pend query")?;
+                        self.pending_churn.push_back(ChurnOp::Deregister {
+                            tenant: TenantId(tenant),
+                            query: ProgId(query),
+                        });
+                    }
+                    _ => return Err(format!("bad pend line {line:?}")),
+                },
+                Some("pop") => match words.next() {
+                    Some("add") => {
+                        let src = words.collect::<Vec<_>>().join(" ");
+                        let prog =
+                            PortableProgram::parse_sexpr(&src)?.to_program(&mut self.interner);
+                        self.plan
+                            .add(
+                                &prog,
+                                &mut self.interner,
+                                &self.cm,
+                                &EnvCost(&self.env),
+                                &self.config.consolidation,
+                            )
+                            .map_err(|e| format!("plan-op replay (add): {e}"))?;
+                        self.plan_ops.push(PlanOp::Add(prog));
+                    }
+                    Some("rem") => {
+                        let query: u32 = parse_field(words.next(), "pop query")?;
+                        self.plan
+                            .remove(
+                                ProgId(query),
+                                &self.interner,
+                                &self.cm,
+                                &EnvCost(&self.env),
+                                &self.config.consolidation,
+                            )
+                            .map_err(|e| format!("plan-op replay (remove): {e}"))?;
+                        self.plan_ops.push(PlanOp::Remove(ProgId(query)));
+                    }
+                    _ => return Err(format!("bad pop line {line:?}")),
+                },
+                _ => return Err(format!("unrecognized checkpoint line {line:?}")),
+            }
+        }
+        self.qs_dirty = true;
+        Ok(())
+    }
+
+    /// Replays one journal frame into service state. Deterministic parts
+    /// (admission arithmetic, churn application, epoch-start drains) are
+    /// re-derived; engine-dependent effects come from the frame. Records
+    /// are never re-executed.
+    fn replay_frame(
+        &mut self,
+        frame: &journal::LoadedFrame,
+        report: &mut RecoveryReport,
+    ) -> Result<(), String>
+    where
+        E::Rec: JournalRec,
+    {
+        match frame.kind.as_str() {
+            "sub" => {
+                let mut lines = frame.payload.lines();
+                let head = lines.next().ok_or("empty sub frame")?;
+                let mut words = head.split_ascii_whitespace();
+                expect_word(&mut words, "batch")?;
+                let id = parse_field(words.next(), "batch id")?;
+                expect_word(&mut words, "epoch")?;
+                let submitted_epoch = parse_field(words.next(), "batch epoch")?;
+                expect_word(&mut words, "seq")?;
+                let start_seq = parse_field(words.next(), "batch seq")?;
+                expect_word(&mut words, "n")?;
+                let n: usize = parse_field(words.next(), "batch n")?;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let rec_line = lines.next().ok_or("sub frame records truncated")?;
+                    records.push(parse_rec::<E::Rec>(rec_line)?);
+                }
+                self.counters.admitted += n as u64;
+                self.queue.restore_batch(PendingBatch {
+                    id,
+                    submitted_epoch,
+                    start_seq,
+                    records,
+                });
+                Ok(())
+            }
+            "rej" => {
+                let mut words = frame.payload.split_ascii_whitespace();
+                expect_word(&mut words, "n")?;
+                let n: u64 = parse_field(words.next(), "rejected n")?;
+                self.counters.rejected += n;
+                Ok(())
+            }
+            "reg" => {
+                let mut lines = frame.payload.lines();
+                let head = lines.next().ok_or("empty reg frame")?;
+                let mut words = head.split_ascii_whitespace();
+                expect_word(&mut words, "tenant")?;
+                let tenant = TenantId(parse_field(words.next(), "tenant")?);
+                expect_word(&mut words, "outcome")?;
+                let tag = words.next().ok_or("reg frame missing outcome")?;
+                let src = lines.next().ok_or("reg frame missing program")?;
+                let program = PortableProgram::parse_sexpr(src)?.to_program(&mut self.interner);
+                match tag {
+                    "deferred" => {
+                        self.pending_churn.push_back(ChurnOp::Register { tenant, program });
+                        Ok(())
+                    }
+                    "applied" | "solo" => self
+                        .apply_register(tenant, &program)
+                        .map(|_| ())
+                        .map_err(|e| format!("reg replay: {e}")),
+                    other => Err(format!("bad reg outcome {other:?}")),
+                }
+            }
+            "dereg" => {
+                let head = frame.payload.lines().next().ok_or("empty dereg frame")?;
+                let mut words = head.split_ascii_whitespace();
+                expect_word(&mut words, "tenant")?;
+                let tenant = TenantId(parse_field(words.next(), "tenant")?);
+                expect_word(&mut words, "query")?;
+                let query = ProgId(parse_field(words.next(), "query")?);
+                expect_word(&mut words, "outcome")?;
+                let tag = words.next().ok_or("dereg frame missing outcome")?;
+                match tag {
+                    "cancelled" => {
+                        let at = self
+                            .pending_register(query)
+                            .ok_or("cancelled dereg has no pending registration")?;
+                        self.pending_churn.remove(at);
+                        Ok(())
+                    }
+                    "deferred" => {
+                        self.pending_churn.push_back(ChurnOp::Deregister { tenant, query });
+                        Ok(())
+                    }
+                    "applied" | "solo" => self
+                        .apply_deregister(tenant, query)
+                        .map(|_| ())
+                        .map_err(|e| format!("dereg replay: {e}")),
+                    other => Err(format!("bad dereg outcome {other:?}")),
+                }
+            }
+            "epoch" => {
+                let (epoch, digest) = self.replay_epoch(&frame.payload)?;
+                report.replayed_epoch_digests.push((epoch, digest));
+                Ok(())
+            }
+            other => Err(format!("unknown frame kind {other:?}")),
+        }
+    }
+
+    /// Replays one committed epoch without re-executing any record: the
+    /// deterministic epoch-start transitions (churn drain, deadline shed,
+    /// batch drain) are recomputed from the reconstructed queue, and the
+    /// engine-dependent effects (demotions, quarantine deltas) are applied
+    /// from the commit frame. Cross-checks the drained record count
+    /// against the journaled one.
+    fn replay_epoch(&mut self, payload: &str) -> Result<(u64, u64), String> {
+        let mut lines = payload.lines();
+        let head = lines.next().ok_or("empty epoch frame")?;
+        let mut words = head.split_ascii_whitespace();
+        expect_word(&mut words, "epoch")?;
+        let epoch: u64 = parse_field(words.next(), "epoch")?;
+        expect_word(&mut words, "mode")?;
+        let _mode = words.next().ok_or("epoch frame missing mode")?;
+        expect_word(&mut words, "processed")?;
+        let processed: usize = parse_field(words.next(), "processed")?;
+        expect_word(&mut words, "applied")?;
+        let _applied: usize = parse_field(words.next(), "applied")?;
+        expect_word(&mut words, "errors")?;
+        let _errors: usize = parse_field(words.next(), "errors")?;
+        expect_word(&mut words, "digest")?;
+        let digest = u64::from_str_radix(words.next().ok_or("epoch frame missing digest")?, 16)
+            .map_err(|_| "bad epoch digest".to_owned())?;
+        self.epoch += 1;
+        if self.epoch != epoch {
+            return Err(format!(
+                "epoch frame {epoch} replayed at service epoch {}",
+                self.epoch
+            ));
+        }
+        let pressure = self.queue.pressure();
+        if pressure < self.config.degrade_watermark {
+            while let Some(op) = self.pending_churn.pop_front() {
+                // Same deterministic application as the original epoch;
+                // errors reproduce identically and were report-only.
+                let _ = match op {
+                    ChurnOp::Register { tenant, program } => {
+                        self.apply_register(tenant, &program).map(|_| ())
+                    }
+                    ChurnOp::Deregister { tenant, query } => {
+                        self.apply_deregister(tenant, query).map(|_| ())
+                    }
+                };
+            }
+        }
+        if pressure >= self.config.shed_watermark {
+            for (_, records) in self
+                .queue
+                .shed_expired(self.epoch, self.config.deadline_epochs)
+            {
+                self.counters.shed += records.len() as u64;
+                drop(records);
+            }
+        }
+        let drained: usize = self
+            .queue
+            .drain_up_to(self.config.epoch_batch_limit)
+            .iter()
+            .map(|b| b.records.len())
+            .sum();
+        if drained != processed {
+            return Err(format!(
+                "epoch {epoch} drained {drained} records on replay but journaled {processed}"
+            ));
+        }
+        self.counters.processed += processed as u64;
+        for line in lines {
+            let mut words = line.split_ascii_whitespace();
+            match words.next() {
+                Some("demote") => {
+                    let t: u32 = parse_field(words.next(), "demote tenant")?;
+                    self.demote_tenant(TenantId(t))
+                        .map_err(|e| format!("demote replay: {e}"))?;
+                }
+                Some("tq") => {
+                    let t: u32 = parse_field(words.next(), "tq tenant")?;
+                    let delta: u64 = parse_field(words.next(), "tq delta")?;
+                    let state = self
+                        .tenants
+                        .get_mut(&TenantId(t))
+                        .ok_or("tq for unknown tenant")?;
+                    state.quarantined_records += delta;
+                }
+                other => return Err(format!("bad epoch effect line {other:?}")),
+            }
+        }
+        Ok((epoch, digest))
+    }
+}
+
+/// Wire tag for a churn outcome in journal frames.
+fn churn_tag(outcome: &ChurnOutcome) -> &'static str {
+    match outcome {
+        ChurnOutcome::Applied(_) => "applied",
+        ChurnOutcome::AppliedSolo => "solo",
+        ChurnOutcome::Deferred => "deferred",
+        ChurnOutcome::Cancelled => "cancelled",
+    }
+}
+
+/// Wire tag for an epoch mode in journal frames.
+fn mode_tag(mode: EpochMode) -> &'static str {
+    match mode {
+        EpochMode::Idle => "idle",
+        EpochMode::Consolidated => "cons",
+        EpochMode::Sequential => "seq",
+    }
+}
+
+/// FNV-64 digest of an epoch's observable effects (see
+/// [`EpochReport::output_digest`]).
+fn epoch_digest(report: &EpochReport) -> u64 {
+    let mut h = naiad_lite::digest::Fnv64::new();
+    h.u64(report.epoch);
+    h.u64(match report.mode {
+        EpochMode::Idle => 0,
+        EpochMode::Consolidated => 1,
+        EpochMode::Sequential => 2,
+    });
+    h.u64(report.processed as u64);
+    h.u64(report.applied_churn as u64);
+    h.u64(report.churn_errors.len() as u64);
+    for s in &report.shed {
+        h.u64(s.batch);
+        h.u64(s.records as u64);
+        h.u64(s.waited_epochs);
+    }
+    for t in &report.demoted {
+        h.u64(u64::from(t.0));
+    }
+    for (t, rep) in &report.tenants {
+        h.u64(u64::from(t.0));
+        h.u64(u64::from(rep.solo));
+        for (q, c) in &rep.counts {
+            h.u64(u64::from(*q));
+            h.u64(*c);
+        }
+        for &s in &rep.quarantined {
+            h.u64(s);
+        }
+    }
+    h.finish()
+}
+
+/// Parses one whitespace-delimited field, naming it in the error.
+fn parse_field<T: std::str::FromStr>(word: Option<&str>, what: &str) -> Result<T, String> {
+    word.ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("bad {what}"))
+}
+
+/// Consumes one expected literal word from a frame line.
+fn expect_word(
+    words: &mut std::str::SplitAsciiWhitespace<'_>,
+    expected: &str,
+) -> Result<(), String> {
+    match words.next() {
+        Some(w) if w == expected => Ok(()),
+        other => Err(format!("expected {expected:?}, got {other:?}")),
+    }
+}
+
+/// Decodes one `rec <payload>` line back into a record.
+fn parse_rec<R: JournalRec>(line: &str) -> Result<R, String> {
+    let src = line.strip_prefix("rec").ok_or("expected rec line")?;
+    R::decode_rec(src.strip_prefix(' ').unwrap_or(src))
 }

@@ -74,11 +74,11 @@ fn admission_is_bounded_and_shedding_is_explicit() {
 
     // Five batches of two records fill the queue exactly.
     for i in 0..5 {
-        let a = svc.submit(batch(i * 2..i * 2 + 2));
+        let a = svc.submit(batch(i * 2..i * 2 + 2)).expect("journal off: infallible");
         assert!(matches!(a, Admission::Admitted { .. }), "batch {i}: {a:?}");
     }
     // The sixth is rejected — records never enter, nothing is dropped.
-    match svc.submit(batch(10..12)) {
+    match svc.submit(batch(10..12)).expect("journal off: infallible") {
         Admission::Rejected {
             reason: RejectReason::QueueFull { queued, capacity },
         } => {
@@ -123,7 +123,7 @@ fn churn_defers_under_pressure_and_applies_when_calm() {
     svc.register(t, &q1).expect("calm registration applies");
     assert_eq!(svc.status().plan_queries, 1);
 
-    svc.submit(batch(0..4));
+    svc.submit(batch(0..4)).expect("journal off: infallible");
     assert!(svc.status().pressure >= 0.75);
     let out = svc.register(t, &q2).expect("pressured registration defers");
     assert!(matches!(out, ChurnOutcome::Deferred));
@@ -141,7 +141,7 @@ fn churn_defers_under_pressure_and_applies_when_calm() {
 
     // With the queue drained and pressure low, consolidated execution
     // resumes.
-    svc.submit(batch(0..2));
+    svc.submit(batch(0..2)).expect("journal off: infallible");
     let rep = svc.run_epoch().expect("epoch runs");
     assert_eq!(rep.mode, EpochMode::Consolidated);
     let counts = &rep.tenants[&t].counts;
@@ -158,7 +158,7 @@ fn drive(
     let mut out = Vec::new();
     for e in 0..epochs {
         let lo = (e as i64) * 20;
-        match svc.submit(batch(lo..lo + 20)) {
+        match svc.submit(batch(lo..lo + 20)).expect("journal off: infallible") {
             Admission::Admitted { .. } => {}
             other => panic!("stream must admit: {other:?}"),
         }

@@ -17,6 +17,9 @@
 //!   `where_many` / `where_consolidated` operators,
 //! * [`cache`] — the consolidated-plan cache keyed on canonical UDF-set
 //!   hashes, with textual snapshots for warm starts across runs,
+//! * [`serve`] — the long-lived consolidation service (delta plan surgery,
+//!   admission control, tenant isolation, and the write-ahead epoch journal
+//!   with crash recovery),
 //! * [`workloads`] — the five evaluation domains (Weather, Flight, News,
 //!   Twitter, Stock) with dataset generators and query families.
 //!
@@ -30,4 +33,5 @@ pub use naiad_lite as dataflow;
 pub use plan_cache as cache;
 pub use udf_data as workloads;
 pub use udf_lang as lang;
+pub use udf_serve as serve;
 pub use udf_smt as smt;

@@ -11,8 +11,11 @@ use naiad_lite::fault::{silence_injected_panics, FaultKind, FaultPlan, FaultyEnv
 use naiad_lite::{ScalarEnv, UdfEnv};
 use std::time::Duration;
 use udf_lang::intern::Interner;
-use udf_lang::{FnLibrary, Library};
-use udf_serve::{Admission, ServeConfig, Service, TenantId};
+use udf_lang::FnLibrary;
+use udf_serve::{
+    Admission, ChurnOutcome, CrashPoint, JournalError, ServeConfig, ServeError, Service, SimCrash,
+    TenantId,
+};
 
 type Env = FaultyEnv<ScalarEnv>;
 type Rec = <Env as UdfEnv>::Rec;
@@ -35,7 +38,9 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn service(seed: u64) -> Service<Env> {
+/// Builds the faulty environment plus the interner its library was
+/// interned against (recovery needs them as a pair).
+fn chaos_env(seed: u64) -> (Env, Interner) {
     let mut interner = Interner::new();
     let probe = interner.intern("probe");
     let half = interner.intern("half");
@@ -54,7 +59,11 @@ fn service(seed: u64) -> Service<Env> {
             FaultKind::Panic,
         ],
     );
-    let env = FaultyEnv::new(ScalarEnv::new(1, lib), probe, faults);
+    (FaultyEnv::new(ScalarEnv::new(1, lib), probe, faults), interner)
+}
+
+fn service(seed: u64) -> Service<Env> {
+    let (env, interner) = chaos_env(seed);
     let mut svc = Service::new(
         env,
         ServeConfig {
@@ -94,7 +103,7 @@ fn run_schedule(seed: u64) -> String {
                     .map(|v| (v as usize, vec![v % 512]))
                     .collect();
                 next_record += n;
-                let a = svc.submit(recs);
+                let a = svc.submit(recs).expect("journal off: infallible");
                 transcript.push_str(&format!("step {step}: submit {n} -> {a:?}\n"));
             }
             // Register a query for a random tenant; every third query is
@@ -193,6 +202,180 @@ fn same_seed_churn_replays_identically() {
         run_schedule(seed),
         "same-seed churn schedules must produce identical transcripts"
     );
+}
+
+/// Parses the standard generated query shape into the service's interner.
+fn query(svc: &mut Service<Env>, id: u32, f: &str, th: i64) -> udf_lang::ast::Program {
+    udf_lang::parse::parse_program(
+        &format!(
+            "program q{id} @{id} (v) {{
+                 p := {f}(v);
+                 if (p > {th}) {{ notify true; }} else {{ notify false; }}
+             }}"
+        ),
+        svc.interner_mut(),
+    )
+    .expect("generated program parses")
+}
+
+fn pressured_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 96,
+        epoch_batch_limit: 8,
+        deadline_epochs: 1,
+        retry: RetryPolicy {
+            max_retries: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: seed,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// Fills the queue to 100% pressure with 12 atomic batches of 8 records.
+fn flood(svc: &mut Service<Env>) {
+    for b in 0..12i64 {
+        let recs: Vec<Rec> = (b * 8..(b + 1) * 8)
+            .map(|v| (v as usize, vec![v % 512]))
+            .collect();
+        assert!(
+            matches!(
+                svc.submit(recs).expect("journal off: infallible"),
+                Admission::Admitted { .. }
+            ),
+            "flood batch {b} must fit the queue"
+        );
+    }
+}
+
+/// Interleaving: a deregister issued under pressure must stay deferred
+/// *through* the shed that clears the backlog (churn never lands mid-shed,
+/// where plan surgery would race the epoch's accounting), then apply at
+/// the first calm epoch — with every shed record explicitly accounted.
+#[test]
+fn deregister_defers_through_shed_then_applies() {
+    silence_injected_panics();
+    let (env, interner) = chaos_env(7);
+    let mut svc = Service::new(env, pressured_config(7));
+    *svc.interner_mut() = interner;
+    let q0 = query(&mut svc, 0, "half", 5);
+    let q1 = query(&mut svc, 1, "half", 9);
+    assert!(matches!(
+        svc.register(TenantId(0), &q0).expect("register q0"),
+        ChurnOutcome::Applied(_) | ChurnOutcome::AppliedSolo
+    ));
+    assert!(matches!(
+        svc.register(TenantId(1), &q1).expect("register q1"),
+        ChurnOutcome::Applied(_) | ChurnOutcome::AppliedSolo
+    ));
+    flood(&mut svc);
+    // Deregister at 100% pressure: deferred, not applied.
+    assert!(matches!(
+        svc.deregister(TenantId(0), udf_lang::ast::ProgId(0))
+            .expect("deregister q0"),
+        ChurnOutcome::Deferred
+    ));
+    // Epoch 1: pressured (degraded, sequential); nothing past its deadline
+    // yet, so no shed; the deregister must still be pending.
+    let rep = svc.run_epoch().expect("epoch 1");
+    assert!(rep.shed.is_empty(), "no batch is past its deadline yet");
+    assert!(svc.accounting().balanced());
+    // Epoch 2: still over the shed watermark and the backlog is now past
+    // its deadline — the whole remainder sheds. The deferred deregister
+    // interleaves with the shed but must not land during it.
+    let rep = svc.run_epoch().expect("epoch 2");
+    assert!(!rep.shed.is_empty(), "aged backlog must shed");
+    assert!(
+        svc.tenant(TenantId(0))
+            .expect("tenant 0")
+            .query_ids()
+            .contains(&udf_lang::ast::ProgId(0)),
+        "deregister must not apply mid-shed"
+    );
+    let acc = svc.accounting();
+    assert!(acc.balanced(), "shed records leaked: {acc:?}");
+    assert_eq!(acc.shed, 88, "11 aged batches of 8 shed atomically");
+    // Epoch 3: calm at last — the deferred deregister applies.
+    svc.run_epoch().expect("epoch 3");
+    assert!(
+        !svc
+            .tenant(TenantId(0))
+            .expect("tenant 0")
+            .query_ids()
+            .contains(&udf_lang::ast::ProgId(0)),
+        "deferred deregister must apply at the first calm epoch"
+    );
+    assert_eq!(svc.status().plan_queries, 1, "q1 alone remains in the plan");
+    assert!(svc.accounting().balanced());
+}
+
+/// Interleaving: a registration deferred under pressure, followed by a
+/// crash before any calm epoch could apply it, must survive recovery in
+/// the pending-churn queue and still apply once the recovered service
+/// reaches a calm epoch.
+#[test]
+fn deferred_register_survives_crash_before_apply() {
+    silence_injected_panics();
+    let seed = 11u64;
+    let dir = std::env::temp_dir().join("udf-serve-churn-crash-before-apply");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create journal dir");
+    let (env, interner) = chaos_env(seed);
+    // Frames: reg q0 = 1, flood = 2..=13, reg q1 = 14; the first epoch's
+    // commit frame (15) tears mid-append.
+    let mut cfg = pressured_config(seed);
+    cfg.sim_crash = Some(SimCrash {
+        point: CrashPoint::MidAppend,
+        after: 15,
+        seed,
+    });
+    let mut svc = Service::open(env, interner, cfg, &dir).expect("open journaled");
+    let q0 = query(&mut svc, 0, "half", 5);
+    assert!(matches!(
+        svc.register(TenantId(0), &q0).expect("register q0"),
+        ChurnOutcome::Applied(_) | ChurnOutcome::AppliedSolo
+    ));
+    flood(&mut svc);
+    let q1 = query(&mut svc, 1, "half", 9);
+    assert!(
+        matches!(
+            svc.register(TenantId(1), &q1).expect("register q1"),
+            ChurnOutcome::Deferred
+        ),
+        "registration at 100% pressure must defer"
+    );
+    match svc.run_epoch() {
+        Err(ServeError::Journal(JournalError::SimulatedCrash(CrashPoint::MidAppend))) => {}
+        other => panic!("expected the armed crash, got {other:?}"),
+    }
+    drop(svc);
+    let (env2, interner2) = chaos_env(seed);
+    let (mut svc, report) =
+        Service::recover(env2, interner2, pressured_config(seed), &dir).expect("recover");
+    assert!(report.truncated_tail, "the torn epoch frame is truncated");
+    assert_eq!(report.frames_salvaged, 1);
+    // The crashed epoch never became durable: the queue is still full and
+    // the registration is still pending. Drain to a calm epoch.
+    assert_eq!(svc.status().queued_records, 96);
+    for _ in 0..3 {
+        svc.run_epoch().expect("post-recovery epoch");
+        assert!(svc.accounting().balanced());
+    }
+    assert!(
+        svc.tenant(TenantId(1))
+            .expect("tenant 1")
+            .query_ids()
+            .contains(&udf_lang::ast::ProgId(1)),
+        "deferred registration must apply after recovery"
+    );
+    assert_eq!(
+        svc.status().plan_queries,
+        2,
+        "both queries live in the shared plan after recovery"
+    );
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
